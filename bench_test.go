@@ -1,0 +1,198 @@
+// Macro-benchmarks regenerating each table and figure of the paper at
+// reduced scale (short virtual budgets, few replications) so the whole
+// suite runs in minutes. The full-scale reproduction is produced by
+// cmd/paperrepro; EXPERIMENTS.md records its output. Each benchmark
+// prints the artefact it regenerates on its first iteration and reports
+// domain metrics (cycles, simulations, final objective) alongside timing.
+package pbo
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/benchfunc"
+	"repro/internal/experiments"
+	"repro/internal/uphes"
+)
+
+// miniStudy is the reduced sweep configuration used by the benchmarks.
+func miniStudy(batches []int, reps int, budget time.Duration) experiments.StudyConfig {
+	return experiments.StudyConfig{
+		BatchSizes:   batches,
+		Replications: reps,
+		Budget:       budget,
+		Seed:         1,
+	}
+}
+
+func BenchmarkTable1_BenchmarkDefs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.TableBenchmarkDefs()
+		if i == 0 {
+			fmt.Print(out)
+		}
+	}
+}
+
+func BenchmarkTable2_BudgetAllocation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.TableBudget(nil, 0)
+		if i == 0 {
+			fmt.Print(out)
+		}
+	}
+}
+
+func BenchmarkTable3_AcquisitionMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		out := experiments.TableAcquisitionMatrix(nil)
+		if i == 0 {
+			fmt.Print(out)
+		}
+	}
+}
+
+// benchFinalTable runs a reduced Tables 4-6 style study on one function.
+func benchFinalTable(b *testing.B, f benchfunc.Function, title string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBenchmarkStudy(f, miniStudy([]int{2}, 1, time.Minute))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Print(res.FinalValueTable(title))
+		}
+		reportStudy(b, res)
+	}
+}
+
+func BenchmarkTable4_Rosenbrock(b *testing.B) {
+	benchFinalTable(b, benchfunc.Rosenbrock(12), "Table 4 (reduced) — Rosenbrock final cost")
+}
+
+func BenchmarkTable5_Ackley(b *testing.B) {
+	benchFinalTable(b, benchfunc.Ackley(12), "Table 5 (reduced) — Ackley final cost")
+}
+
+func BenchmarkTable6_Schwefel(b *testing.B) {
+	benchFinalTable(b, benchfunc.Schwefel(12), "Table 6 (reduced) — Schwefel final cost")
+}
+
+func BenchmarkTable7_UPHES(b *testing.B) {
+	simCfg := uphes.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunUPHESStudy(simCfg, miniStudy([]int{2}, 2, time.Minute))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Print(res.Table7())
+		}
+		reportStudy(b, res)
+	}
+}
+
+func BenchmarkFigure2_EvalsVsBatch(b *testing.B) {
+	cfg := miniStudy([]int{1, 2, 4}, 1, time.Minute)
+	cfg.Algorithms = []string{"KB-q-EGO", "BSP-EGO", "TuRBO"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunBenchmarkStudy(benchfunc.Ackley(12), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Print(res.ScalabilityTable("evals"))
+		}
+		reportStudy(b, res)
+	}
+}
+
+func BenchmarkFigure3to7_Convergence(b *testing.B) {
+	simCfg := uphes.DefaultConfig()
+	cfg := miniStudy([]int{2}, 2, time.Minute)
+	cfg.Algorithms = []string{"mic-q-EGO", "TuRBO"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunUPHESStudy(simCfg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		csv := res.ConvergenceCSV(2)
+		if i == 0 {
+			lines := 0
+			for _, c := range csv {
+				if c == '\n' {
+					lines++
+				}
+			}
+			fmt.Printf("Figures 3-7 (reduced): convergence CSV with %d rows (see cmd/paperrepro for full traces)\n", lines-1)
+		}
+		reportStudy(b, res)
+	}
+}
+
+func BenchmarkFigure8_TTestHeatmap(b *testing.B) {
+	simCfg := uphes.DefaultConfig()
+	cfg := miniStudy([]int{2}, 2, time.Minute)
+	cfg.Algorithms = []string{"KB-q-EGO", "mic-q-EGO", "TuRBO"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunUPHESStudy(simCfg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hm, err := res.PValueHeatmap(2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Print(hm)
+		}
+		reportStudy(b, res)
+	}
+}
+
+func BenchmarkFigure9_Scalability(b *testing.B) {
+	simCfg := uphes.DefaultConfig()
+	cfg := miniStudy([]int{1, 4}, 1, time.Minute)
+	cfg.Algorithms = []string{"KB-q-EGO", "BSP-EGO"}
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunUPHESStudy(simCfg, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Print(res.ScalabilityTable("cycles"))
+		}
+		reportStudy(b, res)
+	}
+}
+
+func BenchmarkDiscussion_RandomSampling(b *testing.B) {
+	simCfg := uphes.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		best, summary, err := experiments.RandomSamplingReference(simCfg, 500, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("Random sampling reference (reduced, 500 evals): best %.0f EUR, mean %.0f EUR\n",
+				best, summary.Mean)
+		}
+		b.ReportMetric(best, "bestEUR")
+	}
+}
+
+// reportStudy attaches domain metrics to the benchmark output.
+func reportStudy(b *testing.B, res *experiments.StudyResult) {
+	var cycles, evals, runs float64
+	for _, run := range res.Runs {
+		cycles += float64(run.Cycles)
+		evals += float64(run.Evals)
+		runs++
+	}
+	if runs > 0 {
+		b.ReportMetric(cycles/runs, "cycles/run")
+		b.ReportMetric(evals/runs, "sims/run")
+	}
+}

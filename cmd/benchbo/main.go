@@ -1,0 +1,78 @@
+// Command benchbo runs the paper's benchmark-function study (Tables 4–6,
+// Figure 2) on one function: all five batch acquisition processes swept
+// over batch sizes under the 20-minute virtual budget with a 10-second
+// artificial simulation cost.
+//
+// Usage:
+//
+//	benchbo [-func ackley] [-dim 12] [-batches 1,2,4,8,16] [-reps 10]
+//	        [-budget 20m] [-factor 0] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/benchfunc"
+	"repro/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchbo: ")
+	var (
+		fn      = flag.String("func", "ackley", "benchmark function (rosenbrock|ackley|schwefel|rastrigin|levy|griewank)")
+		dim     = flag.Int("dim", 12, "dimension")
+		batches = flag.String("batches", "1,2,4,8,16", "comma-separated batch sizes")
+		reps    = flag.Int("reps", 10, "replications per cell")
+		budget  = flag.Duration("budget", 20*time.Minute, "virtual budget")
+		factor  = flag.Float64("factor", 0, "overhead factor (0 = calibrated default)")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		quiet   = flag.Bool("q", false, "suppress per-run progress")
+	)
+	flag.Parse()
+
+	f, err := benchfunc.ByName(*fn, *dim)
+	if err != nil {
+		log.Fatal(err)
+	}
+	qs, err := parseBatches(*batches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := experiments.StudyConfig{
+		BatchSizes:     qs,
+		Replications:   *reps,
+		Budget:         *budget,
+		OverheadFactor: *factor,
+		Seed:           *seed,
+	}
+	if !*quiet {
+		cfg.Progress = os.Stderr
+	}
+	res, err := experiments.RunBenchmarkStudy(f, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.FinalValueTable(fmt.Sprintf(
+		"Final cost on %s (d=%d): mean/sd over %d runs", f.Name, f.Dim, *reps)))
+	fmt.Println(res.ScalabilityTable("evals"))
+	fmt.Println(res.ScalabilityTable("cycles"))
+}
+
+func parseBatches(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("invalid batch size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestParseBatches(t *testing.T) {
+	got, err := parseBatches("1, 2,4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 4 {
+		t.Fatalf("parse = %v", got)
+	}
+	for _, bad := range []string{"", "0", "-1", "a", "1,,2"} {
+		if _, err := parseBatches(bad); err == nil {
+			t.Fatalf("expected error for %q", bad)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command mergeruns assembles Table 7 and Figure 9 style summaries from
+// one or more experiment progress logs (the per-run lines paperrepro
+// writes to stderr). It exists so that studies recorded in stages — e.g.
+// batch sizes run in separate invocations on a shared machine — can be
+// merged into the paper's tables without rerunning anything.
+//
+// Usage:
+//
+//	mergeruns log1 [log2 ...] > merged.txt
+//
+// Each input line must look like:
+//
+//	uphes KB-q-EGO        q=2  rep=0 best=   -330.07 cycles= 97 evals= 226
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+
+	"repro/internal/stats"
+)
+
+var lineRE = regexp.MustCompile(
+	`^(\S+)\s+(.+?)\s+q=(\d+)\s+rep=(\d+)\s+best=\s*(-?[\d.]+)\s+cycles=\s*(\d+)\s+evals=\s*(\d+)`)
+
+type run struct {
+	problem, alg  string
+	q, rep        int
+	best          float64
+	cycles, evals int
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("mergeruns: ")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: mergeruns <log> [log...]")
+	}
+	var runs []run
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		for sc.Scan() {
+			m := lineRE.FindStringSubmatch(sc.Text())
+			if m == nil {
+				continue
+			}
+			r := run{problem: m[1], alg: m[2]}
+			r.q, _ = strconv.Atoi(m[3])
+			r.rep, _ = strconv.Atoi(m[4])
+			r.best, _ = strconv.ParseFloat(m[5], 64)
+			r.cycles, _ = strconv.Atoi(m[6])
+			r.evals, _ = strconv.Atoi(m[7])
+			runs = append(runs, r)
+		}
+		f.Close()
+	}
+	if len(runs) == 0 {
+		log.Fatal("no run lines found")
+	}
+
+	type cell struct {
+		alg string
+		q   int
+	}
+	best := map[cell][]float64{}
+	cycles := map[cell][]float64{}
+	evals := map[cell][]float64{}
+	algSet := map[string]bool{}
+	qSet := map[int]bool{}
+	for _, r := range runs {
+		c := cell{r.alg, r.q}
+		best[c] = append(best[c], r.best)
+		cycles[c] = append(cycles[c], float64(r.cycles))
+		evals[c] = append(evals[c], float64(r.evals))
+		algSet[r.alg] = true
+		qSet[r.q] = true
+	}
+	var algs []string
+	for a := range algSet {
+		algs = append(algs, a)
+	}
+	sort.Strings(algs)
+	var qs []int
+	for q := range qSet {
+		qs = append(qs, q)
+	}
+	sort.Ints(qs)
+
+	fmt.Println("Table 7 (merged) — final objective statistics per algorithm and batch size")
+	for _, q := range qs {
+		fmt.Printf("\nn_batch = %d\n", q)
+		fmt.Printf("%-18s %5s %10s %10s %10s %10s\n", "", "runs", "min", "mean", "max", "sd")
+		for _, a := range algs {
+			vals := best[cell{a, q}]
+			if len(vals) == 0 {
+				continue
+			}
+			s := stats.Summarize(vals)
+			fmt.Printf("%-18s %5d %10.0f %10.0f %10.0f %10.0f\n", a, s.N, s.Min, s.Mean, s.Max, s.SD)
+		}
+	}
+
+	for _, metric := range []struct {
+		name string
+		data map[cell][]float64
+	}{{"simulations (Figure 9a)", evals}, {"cycles (Figure 9b)", cycles}} {
+		fmt.Printf("\nNumber of %s per batch size (mean)\n", metric.name)
+		fmt.Printf("%-8s", "n_batch")
+		for _, a := range algs {
+			fmt.Printf(" %-18s", a)
+		}
+		fmt.Println()
+		for _, q := range qs {
+			fmt.Printf("%-8d", q)
+			for _, a := range algs {
+				vals := metric.data[cell{a, q}]
+				if len(vals) == 0 {
+					fmt.Printf(" %-18s", "-")
+					continue
+				}
+				s := stats.Summarize(vals)
+				fmt.Printf(" %-18s", fmt.Sprintf("%7.1f / %-6.1f", s.Mean, s.SD))
+			}
+			fmt.Println()
+		}
+	}
+}

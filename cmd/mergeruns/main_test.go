@@ -1,0 +1,20 @@
+package main
+
+import "testing"
+
+func TestLineRegexp(t *testing.T) {
+	line := "uphes MC-based q-EGO  q=16 rep=2 best=   -663.06 cycles= 10 evals= 104"
+	m := lineRE.FindStringSubmatch(line)
+	if m == nil {
+		t.Fatal("line did not match")
+	}
+	if m[1] != "uphes" || m[2] != "MC-based q-EGO" || m[3] != "16" || m[4] != "2" {
+		t.Fatalf("groups = %q", m)
+	}
+	if m[5] != "-663.06" || m[6] != "10" || m[7] != "104" {
+		t.Fatalf("numeric groups = %q", m[5:])
+	}
+	if lineRE.FindStringSubmatch("random junk") != nil {
+		t.Fatal("junk matched")
+	}
+}

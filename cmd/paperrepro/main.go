@@ -1,0 +1,157 @@
+// Command paperrepro regenerates every table and figure of the paper's
+// evaluation into a results directory:
+//
+//	table1.txt  table2.txt  table3.txt         — protocol tables
+//	table4_rosenbrock.txt  table5_ackley.txt  table6_schwefel.txt
+//	table7_uphes.txt
+//	figure2_<func>_evals.txt                    — #evals vs batch size
+//	figure3to7_uphes_q<q>.csv                   — convergence traces
+//	figure8_uphes_pvalues_q<q>.txt              — t-test heatmaps
+//	figure9a_uphes_evals.txt figure9b_uphes_cycles.txt
+//	random_reference.txt                        — §4 random-sampling note
+//
+// The full grid is expensive; -quick runs a reduced sanity-check grid.
+//
+// Usage:
+//
+//	paperrepro [-out results] [-reps 5] [-budget 20m] [-factor 0]
+//	           [-seed 1] [-quick] [-skip-benchmarks] [-skip-uphes]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/benchfunc"
+	"repro/internal/experiments"
+	"repro/internal/uphes"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperrepro: ")
+	var (
+		out       = flag.String("out", "results", "output directory")
+		reps      = flag.Int("reps", 5, "replications per cell (paper: 10)")
+		budget    = flag.Duration("budget", 20*time.Minute, "virtual budget")
+		factor    = flag.Float64("factor", 0, "overhead factor (0 = calibrated default)")
+		seed      = flag.Uint64("seed", 1, "master seed")
+		quick     = flag.Bool("quick", false, "reduced grid for a fast sanity check")
+		batches   = flag.String("batches", "1,2,4,8,16", "comma-separated batch sizes")
+		algos     = flag.String("algos", "", "comma-separated strategy names (default: the paper's five)")
+		skipBench = flag.Bool("skip-benchmarks", false, "skip Tables 4-6 / Figure 2")
+		skipUPHES = flag.Bool("skip-uphes", false, "skip Table 7 / Figures 3-9")
+	)
+	flag.Parse()
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := experiments.StudyConfig{
+		Replications:   *reps,
+		Budget:         *budget,
+		OverheadFactor: *factor,
+		Seed:           *seed,
+		Progress:       os.Stderr,
+	}
+	cfg.BatchSizes = parseInts(*batches)
+	if *algos != "" {
+		cfg.Algorithms = strings.Split(*algos, ",")
+	}
+	dim := 12
+	randomEvals := 12000
+	if *quick {
+		cfg.BatchSizes = []int{2, 4}
+		cfg.Replications = 2
+		cfg.Budget = 2 * time.Minute
+		randomEvals = 1000
+	}
+
+	// Protocol tables (Tables 1-3).
+	write(*out, "table1.txt", experiments.TableBenchmarkDefs())
+	write(*out, "table2.txt", experiments.TableBudget(cfg.BatchSizes, cfg.Budget))
+	write(*out, "table3.txt", experiments.TableAcquisitionMatrix(cfg.BatchSizes))
+
+	// Benchmark studies (Tables 4-6, Figure 2).
+	if !*skipBench {
+		benchTables := []struct {
+			f    benchfunc.Function
+			file string
+		}{
+			{benchfunc.Rosenbrock(dim), "table4_rosenbrock.txt"},
+			{benchfunc.Ackley(dim), "table5_ackley.txt"},
+			{benchfunc.Schwefel(dim), "table6_schwefel.txt"},
+		}
+		for _, bt := range benchTables {
+			log.Printf("running benchmark study: %s", bt.f.Name)
+			res, err := experiments.RunBenchmarkStudy(bt.f, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			write(*out, bt.file, res.FinalValueTable(fmt.Sprintf(
+				"Final cost on %s (d=%d): mean/sd over %d runs",
+				bt.f.Name, bt.f.Dim, cfg.Replications)))
+			write(*out, "figure2_"+bt.f.Name+"_evals.txt", res.ScalabilityTable("evals"))
+		}
+	}
+
+	// UPHES study (Table 7, Figures 3-9).
+	if !*skipUPHES {
+		log.Print("running UPHES study")
+		simCfg := uphes.DefaultConfig()
+		res, err := experiments.RunUPHESStudy(simCfg, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write(*out, "table7_uphes.txt", res.Table7())
+		for _, q := range cfg.BatchSizes {
+			write(*out, fmt.Sprintf("figure3to7_uphes_q%d.csv", q), res.ConvergenceCSV(q))
+			write(*out, fmt.Sprintf("figure3to7_uphes_q%d.txt", q), res.ConvergencePlot(q))
+			hm, err := res.PValueHeatmap(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			write(*out, fmt.Sprintf("figure8_uphes_pvalues_q%d.txt", q), hm)
+		}
+		write(*out, "figure9a_uphes_evals.txt", res.ScalabilityTable("evals"))
+		write(*out, "figure9b_uphes_cycles.txt", res.ScalabilityTable("cycles"))
+
+		log.Print("running random-sampling reference")
+		best, summary, err := experiments.RandomSamplingReference(simCfg, randomEvals, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		write(*out, "random_reference.txt", fmt.Sprintf(
+			"Random sampling reference (§4): best profit over %d uniform schedules = %.0f EUR\n"+
+				"(sample of %d: mean %.0f, min %.0f, max %.0f, sd %.0f)\n",
+			randomEvals, best, summary.N, summary.Mean, summary.Min, summary.Max, summary.SD))
+	}
+	log.Printf("wrote results to %s", *out)
+}
+
+func write(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("  %s", path)
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || v < 1 {
+			log.Fatalf("invalid batch size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out
+}

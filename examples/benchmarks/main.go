@@ -1,0 +1,53 @@
+// Benchmark sweep: a compact version of the paper's benchmark-function
+// study. For each of Rosenbrock, Ackley and Schwefel (d = 12), run the
+// five batch acquisition processes at two batch sizes under a short
+// virtual budget and print the final-cost matrix — the shape of Tables
+// 4–6 (TuRBO winning, batch 4 beating batch 16 per simulation).
+//
+//	go run ./examples/benchmarks
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	funcs := []string{"rosenbrock", "ackley", "schwefel"}
+	batches := []int{2, 4}
+	const budget = 3 * time.Minute // virtual
+
+	for _, fn := range funcs {
+		problem, err := pbo.BenchmarkProblem(fn, 12, 10*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s (d=12, %v virtual budget, 10s/sim) ===\n", fn, budget)
+		fmt.Printf("%-16s", "")
+		for _, q := range batches {
+			fmt.Printf("  q=%-2d best (sims)   ", q)
+		}
+		fmt.Println()
+		for _, name := range pbo.Strategies() {
+			fmt.Printf("%-16s", name)
+			for _, q := range batches {
+				res, err := pbo.Optimize(problem, pbo.Options{
+					Strategy:  name,
+					BatchSize: q,
+					Budget:    budget,
+					Seed:      11,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				fmt.Printf("  %10.1f (%4d)  ", res.BestY, res.Evals)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,197 @@
+// Package benchfunc provides the classical benchmark functions of the
+// paper's Table 1 — Rosenbrock, Ackley and Schwefel in d = 12 on the
+// published domains — plus a few extra standard functions used to widen the
+// test surface. All functions are minimized and have known global minima.
+package benchfunc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Function is a benchmark objective with its domain and known optimum.
+type Function struct {
+	// Name identifies the function ("rosenbrock", "ackley", …).
+	Name string
+	// Dim is the input dimension.
+	Dim int
+	// Lo and Hi are the box domain bounds.
+	Lo, Hi []float64
+	// Min is the known global minimum value.
+	Min float64
+	// ArgMin is one global minimizer (nil when not representable simply).
+	ArgMin []float64
+	// Eval evaluates the function.
+	Eval func(x []float64) float64
+}
+
+func uniformBounds(d int, lo, hi float64) ([]float64, []float64) {
+	l := make([]float64, d)
+	h := make([]float64, d)
+	for i := range l {
+		l[i], h[i] = lo, hi
+	}
+	return l, h
+}
+
+func constVec(d int, v float64) []float64 {
+	out := make([]float64, d)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+// Rosenbrock returns the d-dimensional Rosenbrock function on [-5, 10]^d
+// (paper domain). Global minimum 0 at (1, …, 1).
+func Rosenbrock(d int) Function {
+	lo, hi := uniformBounds(d, -5, 10)
+	return Function{
+		Name: "rosenbrock", Dim: d, Lo: lo, Hi: hi,
+		Min: 0, ArgMin: constVec(d, 1),
+		Eval: func(x []float64) float64 {
+			checkDim(x, d)
+			var s float64
+			for i := 0; i+1 < len(x); i++ {
+				a := x[i]*x[i] - x[i+1]
+				b := x[i] - 1
+				s += 100*a*a + b*b
+			}
+			return s
+		},
+	}
+}
+
+// Ackley returns the d-dimensional Ackley function on [-5, 10]^d (paper
+// domain). Global minimum 0 at the origin.
+func Ackley(d int) Function {
+	lo, hi := uniformBounds(d, -5, 10)
+	return Function{
+		Name: "ackley", Dim: d, Lo: lo, Hi: hi,
+		Min: 0, ArgMin: constVec(d, 0),
+		Eval: func(x []float64) float64 {
+			checkDim(x, d)
+			var sq, cs float64
+			for _, v := range x {
+				sq += v * v
+				cs += math.Cos(2 * math.Pi * v)
+			}
+			n := float64(len(x))
+			return -20*math.Exp(-0.2*math.Sqrt(sq/n)) - math.Exp(cs/n) + 20 + math.E
+		},
+	}
+}
+
+// schwefelOffset makes the d-dimensional Schwefel minimum exactly 0, as in
+// the paper's Table 1 (418.9828872724338·d − Σ…).
+const schwefelConst = 418.9828872724338
+
+// Schwefel returns the d-dimensional Schwefel function on [-500, 500]^d.
+// Global minimum 0 at (420.9687…, …).
+func Schwefel(d int) Function {
+	lo, hi := uniformBounds(d, -500, 500)
+	return Function{
+		Name: "schwefel", Dim: d, Lo: lo, Hi: hi,
+		Min: 0, ArgMin: constVec(d, 420.968746),
+		Eval: func(x []float64) float64 {
+			checkDim(x, d)
+			s := schwefelConst * float64(len(x))
+			for _, v := range x {
+				s -= v * math.Sin(math.Sqrt(math.Abs(v)))
+			}
+			return s
+		},
+	}
+}
+
+// Rastrigin returns the d-dimensional Rastrigin function on [-5.12, 5.12]^d.
+// Global minimum 0 at the origin.
+func Rastrigin(d int) Function {
+	lo, hi := uniformBounds(d, -5.12, 5.12)
+	return Function{
+		Name: "rastrigin", Dim: d, Lo: lo, Hi: hi,
+		Min: 0, ArgMin: constVec(d, 0),
+		Eval: func(x []float64) float64 {
+			checkDim(x, d)
+			s := 10 * float64(len(x))
+			for _, v := range x {
+				s += v*v - 10*math.Cos(2*math.Pi*v)
+			}
+			return s
+		},
+	}
+}
+
+// Levy returns the d-dimensional Levy function on [-10, 10]^d. Global
+// minimum 0 at (1, …, 1).
+func Levy(d int) Function {
+	lo, hi := uniformBounds(d, -10, 10)
+	return Function{
+		Name: "levy", Dim: d, Lo: lo, Hi: hi,
+		Min: 0, ArgMin: constVec(d, 1),
+		Eval: func(x []float64) float64 {
+			checkDim(x, d)
+			w := func(v float64) float64 { return 1 + (v-1)/4 }
+			w1 := w(x[0])
+			s := math.Pow(math.Sin(math.Pi*w1), 2)
+			for i := 0; i+1 < len(x); i++ {
+				wi := w(x[i])
+				s += (wi - 1) * (wi - 1) * (1 + 10*math.Pow(math.Sin(math.Pi*wi+1), 2))
+			}
+			wd := w(x[len(x)-1])
+			s += (wd - 1) * (wd - 1) * (1 + math.Pow(math.Sin(2*math.Pi*wd), 2))
+			return s
+		},
+	}
+}
+
+// Griewank returns the d-dimensional Griewank function on [-600, 600]^d.
+// Global minimum 0 at the origin.
+func Griewank(d int) Function {
+	lo, hi := uniformBounds(d, -600, 600)
+	return Function{
+		Name: "griewank", Dim: d, Lo: lo, Hi: hi,
+		Min: 0, ArgMin: constVec(d, 0),
+		Eval: func(x []float64) float64 {
+			checkDim(x, d)
+			var sum float64
+			prod := 1.0
+			for i, v := range x {
+				sum += v * v / 4000
+				prod *= math.Cos(v / math.Sqrt(float64(i+1)))
+			}
+			return sum - prod + 1
+		},
+	}
+}
+
+// PaperSuite returns the three benchmark functions of Table 1 in the
+// paper's dimension (12).
+func PaperSuite() []Function {
+	return []Function{Rosenbrock(12), Ackley(12), Schwefel(12)}
+}
+
+// ByName looks up a benchmark by name in dimension d.
+func ByName(name string, d int) (Function, error) {
+	switch name {
+	case "rosenbrock":
+		return Rosenbrock(d), nil
+	case "ackley":
+		return Ackley(d), nil
+	case "schwefel":
+		return Schwefel(d), nil
+	case "rastrigin":
+		return Rastrigin(d), nil
+	case "levy":
+		return Levy(d), nil
+	case "griewank":
+		return Griewank(d), nil
+	}
+	return Function{}, fmt.Errorf("benchfunc: unknown function %q", name)
+}
+
+func checkDim(x []float64, d int) {
+	if len(x) != d {
+		panic(fmt.Sprintf("benchfunc: point dim %d != %d", len(x), d))
+	}
+}

@@ -1,0 +1,157 @@
+package benchfunc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func all12() []Function {
+	return []Function{Rosenbrock(12), Ackley(12), Schwefel(12), Rastrigin(12), Levy(12), Griewank(12)}
+}
+
+func TestGlobalMinimaValues(t *testing.T) {
+	for _, f := range all12() {
+		if f.ArgMin == nil {
+			continue
+		}
+		got := f.Eval(f.ArgMin)
+		if math.Abs(got-f.Min) > 1e-3 {
+			t.Fatalf("%s: f(argmin) = %v, want %v", f.Name, got, f.Min)
+		}
+	}
+}
+
+func TestMinimaAreLocalMinima(t *testing.T) {
+	for _, f := range all12() {
+		base := f.Eval(f.ArgMin)
+		for j := 0; j < f.Dim; j++ {
+			for _, h := range []float64{0.01, -0.01} {
+				x := append([]float64(nil), f.ArgMin...)
+				x[j] += h
+				if f.Eval(x) < base-1e-9 {
+					t.Fatalf("%s: perturbation in dim %d decreased value", f.Name, j)
+				}
+			}
+		}
+	}
+}
+
+func TestPaperDomains(t *testing.T) {
+	for _, f := range PaperSuite() {
+		if f.Dim != 12 {
+			t.Fatalf("%s: dim = %d", f.Name, f.Dim)
+		}
+	}
+	r, a, s := Rosenbrock(12), Ackley(12), Schwefel(12)
+	if r.Lo[0] != -5 || r.Hi[0] != 10 {
+		t.Fatalf("rosenbrock domain [%v,%v]", r.Lo[0], r.Hi[0])
+	}
+	if a.Lo[0] != -5 || a.Hi[0] != 10 {
+		t.Fatalf("ackley domain [%v,%v]", a.Lo[0], a.Hi[0])
+	}
+	if s.Lo[0] != -500 || s.Hi[0] != 500 {
+		t.Fatalf("schwefel domain [%v,%v]", s.Lo[0], s.Hi[0])
+	}
+}
+
+func TestValuesNonNegativeOnDomain(t *testing.T) {
+	// All suite functions are offset to have minimum 0, so every value on
+	// the domain must be >= 0 (up to float slop for Schwefel's offset).
+	stream := rng.New(1, 1)
+	for _, f := range all12() {
+		for i := 0; i < 200; i++ {
+			x := stream.UniformVec(f.Lo, f.Hi)
+			if v := f.Eval(x); v < -1e-6 {
+				t.Fatalf("%s: f(%v) = %v < 0", f.Name, x, v)
+			}
+		}
+	}
+}
+
+func TestKnownValuesRosenbrock(t *testing.T) {
+	f := Rosenbrock(2)
+	// f(0,0) = 100·0 + 1 = 1.
+	if got := f.Eval([]float64{0, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("rosenbrock(0,0) = %v", got)
+	}
+	// f(-1,1) = 100·0 + 4 = 4.
+	if got := f.Eval([]float64{-1, 1}); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("rosenbrock(-1,1) = %v", got)
+	}
+}
+
+func TestKnownValuesAckley(t *testing.T) {
+	f := Ackley(2)
+	if got := f.Eval([]float64{0, 0}); math.Abs(got) > 1e-12 {
+		t.Fatalf("ackley(0,0) = %v", got)
+	}
+}
+
+func TestAckleyFarValueNear20(t *testing.T) {
+	f := Ackley(12)
+	x := constVec(12, 9.5)
+	v := f.Eval(x)
+	if v < 10 || v > 23 {
+		t.Fatalf("ackley far value %v outside plateau range", v)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"rosenbrock", "ackley", "schwefel", "rastrigin", "levy", "griewank"} {
+		f, err := ByName(name, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Dim != 5 || f.Name != name {
+			t.Fatalf("ByName(%s) = %+v", name, f)
+		}
+	}
+	if _, err := ByName("nope", 3); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+func TestDimChecks(t *testing.T) {
+	f := Ackley(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong dim")
+		}
+	}()
+	f.Eval([]float64{1, 2})
+}
+
+// Property: Schwefel is symmetric under coordinate permutation.
+func TestSchwefelPermutationInvariance(t *testing.T) {
+	f := Schwefel(4)
+	q := func(a, b, c, d float64) bool {
+		clamp := func(v float64) float64 { return math.Mod(math.Abs(v), 500) }
+		x := []float64{clamp(a), clamp(b), clamp(c), clamp(d)}
+		y := []float64{x[3], x[2], x[1], x[0]}
+		return math.Abs(f.Eval(x)-f.Eval(y)) < 1e-9
+	}
+	if err := quick.Check(q, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Rosenbrock values are always >= 0.
+func TestRosenbrockNonNegativeProperty(t *testing.T) {
+	f := Rosenbrock(6)
+	q := func(vals [6]float64) bool {
+		x := make([]float64, 6)
+		for i, v := range vals {
+			x[i] = math.Mod(v, 10)
+			if math.IsNaN(x[i]) {
+				x[i] = 0
+			}
+		}
+		return f.Eval(x) >= 0
+	}
+	if err := quick.Check(q, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/gp"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// randomStrategy proposes uniform random batches — a minimal valid
+// strategy for exercising the engine.
+type randomStrategy struct{ calls int }
+
+func (r *randomStrategy) Name() string { return "random" }
+func (r *randomStrategy) Reset()       { r.calls = 0 }
+func (r *randomStrategy) Propose(_ *gp.GP, st *State, q int, stream *rng.Stream) ([][]float64, error) {
+	r.calls++
+	return rng.UniformDesign(q, st.Problem.Lo, st.Problem.Hi, stream), nil
+}
+func (r *randomStrategy) Observe(*State, [][]float64, []float64) {}
+
+// failingStrategy returns no candidates, exercising the fallback path.
+type failingStrategy struct{}
+
+func (failingStrategy) Name() string { return "failing" }
+func (failingStrategy) Reset()       {}
+func (failingStrategy) Propose(*gp.GP, *State, int, *rng.Stream) ([][]float64, error) {
+	return nil, nil
+}
+func (failingStrategy) Observe(*State, [][]float64, []float64) {}
+
+func sphereProblem(simCost time.Duration) *Problem {
+	lo := []float64{-3, -3}
+	hi := []float64{3, 3}
+	return &Problem{
+		Name: "sphere", Lo: lo, Hi: hi, Minimize: true,
+		Evaluator: parallel.FixedCost(func(x []float64) float64 {
+			return x[0]*x[0] + x[1]*x[1]
+		}, simCost),
+	}
+}
+
+func quickEngine(p *Problem, s Strategy) *Engine {
+	return &Engine{
+		Problem:        p,
+		Strategy:       s,
+		BatchSize:      2,
+		InitSamples:    8,
+		Budget:         30 * time.Second,
+		OverheadFactor: 1,
+		Model:          ModelConfig{Restarts: 1, MaxIter: 15, FitSubsetMax: 64},
+		Seed:           1,
+	}
+}
+
+func TestEngineRunsAndRecords(t *testing.T) {
+	p := sphereProblem(10 * time.Second)
+	e := quickEngine(p, &randomStrategy{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitEvals != 8 {
+		t.Fatalf("init evals = %d", res.InitEvals)
+	}
+	if res.Cycles < 1 {
+		t.Fatal("no cycles ran")
+	}
+	if res.Evals != res.InitEvals+res.Cycles*2 {
+		t.Fatalf("evals = %d, cycles = %d", res.Evals, res.Cycles)
+	}
+	if len(res.History) != res.Cycles {
+		t.Fatalf("history %d != cycles %d", len(res.History), res.Cycles)
+	}
+	if res.Virtual < e.Budget {
+		t.Fatalf("stopped before budget: %v", res.Virtual)
+	}
+	// With 10s sims and a 30s budget the engine fits ~3-4 cycles.
+	if res.Cycles > 5 {
+		t.Fatalf("too many cycles for the budget: %d", res.Cycles)
+	}
+}
+
+func TestEngineHistoryMonotonic(t *testing.T) {
+	p := sphereProblem(5 * time.Second)
+	res, err := quickEngine(p, &randomStrategy{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevBest := math.Inf(1)
+	prevEvals := 0
+	var prevVirtual time.Duration
+	for _, rec := range res.History {
+		if rec.BestY > prevBest+1e-12 {
+			t.Fatalf("best regressed: %v -> %v", prevBest, rec.BestY)
+		}
+		if rec.Evals <= prevEvals {
+			t.Fatal("evals not increasing")
+		}
+		if rec.Virtual <= prevVirtual {
+			t.Fatal("virtual time not increasing")
+		}
+		prevBest, prevEvals, prevVirtual = rec.BestY, rec.Evals, rec.Virtual
+	}
+}
+
+func TestEngineDeterministic(t *testing.T) {
+	p := sphereProblem(10 * time.Second)
+	// Determinism of the *search trajectory* given a seed: the measured
+	// fit/acq wall times differ run to run, which can change the cycle
+	// count near the budget edge, so compare the per-cycle trace prefix.
+	r1, err := quickEngine(p, &randomStrategy{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := quickEngine(p, &randomStrategy{}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(r1.Y)
+	if len(r2.Y) < n {
+		n = len(r2.Y)
+	}
+	for i := 0; i < n; i++ {
+		if r1.Y[i] != r2.Y[i] {
+			t.Fatalf("trajectory diverged at eval %d: %v vs %v", i, r1.Y[i], r2.Y[i])
+		}
+	}
+}
+
+func TestEngineMaxCycles(t *testing.T) {
+	p := sphereProblem(time.Second)
+	e := quickEngine(p, &randomStrategy{})
+	e.Budget = time.Hour
+	e.MaxCycles = 3
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles != 3 {
+		t.Fatalf("cycles = %d, want 3", res.Cycles)
+	}
+}
+
+func TestEngineFallbackOnEmptyProposal(t *testing.T) {
+	p := sphereProblem(10 * time.Second)
+	e := quickEngine(p, failingStrategy{})
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cycles < 1 || res.Evals <= res.InitEvals {
+		t.Fatal("fallback did not evaluate anything")
+	}
+}
+
+func TestEngineImprovesOverInitialDesign(t *testing.T) {
+	p := sphereProblem(2 * time.Second)
+	e := quickEngine(p, &randomStrategy{})
+	e.Budget = 2 * time.Minute
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Initial best = best of first 8 evaluations.
+	initBest := math.Inf(1)
+	for _, y := range res.Y[:res.InitEvals] {
+		if y < initBest {
+			initBest = y
+		}
+	}
+	if res.BestY > initBest {
+		t.Fatalf("final best %v worse than init best %v", res.BestY, initBest)
+	}
+}
+
+func TestEngineValidation(t *testing.T) {
+	if _, err := (&Engine{Strategy: &randomStrategy{}}).Run(); err == nil {
+		t.Fatal("expected error for nil problem")
+	}
+	p := sphereProblem(time.Second)
+	if _, err := (&Engine{Problem: p}).Run(); err == nil {
+		t.Fatal("expected error for nil strategy")
+	}
+	bad := &Problem{Name: "bad", Lo: []float64{1}, Hi: []float64{0}, Evaluator: p.Evaluator}
+	if _, err := (&Engine{Problem: bad, Strategy: &randomStrategy{}}).Run(); err == nil {
+		t.Fatal("expected error for inverted bounds")
+	}
+}
+
+func TestClockAccounting(t *testing.T) {
+	c := NewClock(25)
+	c.AddSimulated(10 * time.Second)
+	c.AddMeasured(100 * time.Millisecond)
+	want := 10*time.Second + 2500*time.Millisecond
+	if c.Elapsed() != want {
+		t.Fatalf("elapsed = %v, want %v", c.Elapsed(), want)
+	}
+	c0 := NewClock(0)
+	c0.AddMeasured(time.Second)
+	if c0.Elapsed() != time.Second {
+		t.Fatalf("factor<=0 should mean 1, got %v", c0.Elapsed())
+	}
+}
+
+func TestStateObserveIncumbent(t *testing.T) {
+	p := sphereProblem(0)
+	st := &State{Problem: p}
+	st.Observe([][]float64{{1, 1}, {0.5, 0}}, []float64{2, 0.25})
+	if st.BestY != 0.25 {
+		t.Fatalf("best = %v", st.BestY)
+	}
+	// Maximization flips the sense.
+	p2 := *p
+	p2.Minimize = false
+	st2 := &State{Problem: &p2}
+	st2.Observe([][]float64{{1, 1}, {0.5, 0}}, []float64{2, 0.25})
+	if st2.BestY != 2 {
+		t.Fatalf("max best = %v", st2.BestY)
+	}
+}
+
+func TestBestTrace(t *testing.T) {
+	r := &Result{Y: []float64{5, 3, 4, 1, 2}}
+	got := r.BestTrace(true)
+	want := []float64{5, 3, 3, 1, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("trace = %v", got)
+		}
+	}
+	gotMax := r.BestTrace(false)
+	wantMax := []float64{5, 5, 5, 5, 5}
+	for i := range wantMax {
+		if gotMax[i] != wantMax[i] {
+			t.Fatalf("max trace = %v", gotMax)
+		}
+	}
+}
+
+func TestDedupeBatch(t *testing.T) {
+	p := sphereProblem(0)
+	st := &State{Problem: p}
+	st.Observe([][]float64{{1, 1}}, []float64{2})
+	stream := rng.New(9, 9)
+	batch := dedupeBatch([][]float64{{1, 1}, {1, 1}, {2, 2}}, st, stream)
+	if len(batch) != 3 {
+		t.Fatalf("batch length %d", len(batch))
+	}
+	// The colliding candidates must have been nudged away from (1,1) and
+	// from each other.
+	d0 := math.Hypot(batch[0][0]-1, batch[0][1]-1)
+	if d0 == 0 {
+		t.Fatal("duplicate of observed point not nudged")
+	}
+	if batch[0][0] == batch[1][0] && batch[0][1] == batch[1][1] {
+		t.Fatal("intra-batch duplicates not nudged")
+	}
+	// Untouched candidate remains exact.
+	if batch[2][0] != 2 || batch[2][1] != 2 {
+		t.Fatalf("distinct candidate modified: %v", batch[2])
+	}
+}
+
+func TestProblemBetter(t *testing.T) {
+	pMin := &Problem{Minimize: true}
+	if !pMin.Better(1, 2) || pMin.Better(2, 1) {
+		t.Fatal("min sense wrong")
+	}
+	pMax := &Problem{Minimize: false}
+	if !pMax.Better(2, 1) || pMax.Better(1, 2) {
+		t.Fatal("max sense wrong")
+	}
+}
+
+func (r *randomStrategy) APParallelism(int) int { return 1 }
+
+func (failingStrategy) APParallelism(int) int { return 1 }
+
+func TestEngineZeroBudgetStillRunsInit(t *testing.T) {
+	// A budget smaller than one cycle still evaluates the initial design
+	// and runs at least... zero cycles: the clock starts at 0 < budget,
+	// so exactly one cycle runs, then the budget is exhausted.
+	p := sphereProblem(10 * time.Second)
+	e := quickEngine(p, &randomStrategy{})
+	e.Budget = time.Nanosecond
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.InitEvals != 8 {
+		t.Fatalf("init evals = %d", res.InitEvals)
+	}
+	if res.Cycles > 1 {
+		t.Fatalf("cycles = %d for a nanosecond budget", res.Cycles)
+	}
+}
+
+func TestEngineBatchLargerThanInit(t *testing.T) {
+	p := sphereProblem(time.Second)
+	e := quickEngine(p, &randomStrategy{})
+	e.BatchSize = 16
+	e.InitSamples = 4 // smaller than the batch: engine must still work
+	e.MaxCycles = 2
+	e.Budget = time.Hour
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 4+2*16 {
+		t.Fatalf("evals = %d", res.Evals)
+	}
+}
+
+func TestProblemDim(t *testing.T) {
+	p := sphereProblem(0)
+	if p.Dim() != 2 {
+		t.Fatalf("dim = %d", p.Dim())
+	}
+}

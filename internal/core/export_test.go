@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleResult() *Result {
+	return &Result{
+		Problem: "sphere", Strategy: "KB-q-EGO", Batch: 2,
+		BestX: []float64{0.1, -0.2}, BestY: 0.05,
+		Cycles: 2, Evals: 6, InitEvals: 2,
+		Virtual: 42 * time.Second,
+		History: []CycleRecord{
+			{Cycle: 1, Evals: 4, BestY: 0.3, Virtual: 20 * time.Second,
+				FitTime: time.Second, AcqTime: 2 * time.Second, EvalTime: 10 * time.Second},
+			{Cycle: 2, Evals: 6, BestY: 0.05, Virtual: 42 * time.Second,
+				FitTime: time.Second, AcqTime: time.Second, EvalTime: 10 * time.Second},
+		},
+		X: [][]float64{{1, 1}, {0.5, 0.5}, {0.3, 0.1}, {0.2, 0}, {0.1, -0.2}, {0.4, 0.4}},
+		Y: []float64{2, 0.5, 0.1, 0.04, 0.05, 0.32},
+	}
+}
+
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Problem != r.Problem || back.Strategy != r.Strategy || back.Batch != r.Batch {
+		t.Fatalf("metadata mismatch: %+v", back)
+	}
+	if back.BestY != r.BestY || back.Virtual != r.Virtual {
+		t.Fatalf("values mismatch: %v %v", back.BestY, back.Virtual)
+	}
+	if len(back.History) != 2 || back.History[1].AcqTime != time.Second {
+		t.Fatalf("history mismatch: %+v", back.History)
+	}
+	if len(back.Y) != 6 || back.Y[3] != 0.04 {
+		t.Fatalf("trace mismatch: %v", back.Y)
+	}
+}
+
+func TestReadResultJSONBadInput(t *testing.T) {
+	if _, err := ReadResultJSON(strings.NewReader("{nonsense")); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+func TestWriteTraceCSV(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := r.WriteTraceCSV(&buf, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "eval,x0,x1,y,best\n") {
+		t.Fatalf("header wrong: %q", out[:30])
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 7 {
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Best-so-far column of row 4 (y=0.04) must be 0.04 and stay 0.04 on
+	// row 5 (y=0.05).
+	if !strings.HasSuffix(lines[4], ",0.04") || !strings.HasSuffix(lines[5], ",0.04") {
+		t.Fatalf("best column wrong:\n%s", out)
+	}
+}

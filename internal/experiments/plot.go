@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiPlot renders one or more named series as a fixed-size ASCII chart —
+// enough to eyeball the paper's convergence figures in a terminal without
+// leaving the toolchain. Series may have different lengths; x is the
+// sample index (1-based).
+type AsciiPlot struct {
+	// Width and Height of the plotting area in characters (defaults 72×18).
+	Width, Height int
+	// Title is printed above the chart.
+	Title string
+	// YLabel annotates the vertical axis.
+	YLabel string
+
+	names  []string
+	series [][]float64
+}
+
+// seriesMarks are assigned to series in order.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Add appends a named series.
+func (p *AsciiPlot) Add(name string, ys []float64) {
+	p.names = append(p.names, name)
+	p.series = append(p.series, append([]float64(nil), ys...))
+}
+
+// Render draws the chart.
+func (p *AsciiPlot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 18
+	}
+	maxLen := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range p.series {
+		if len(s) > maxLen {
+			maxLen = len(s)
+		}
+		for _, v := range s {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if maxLen == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range p.series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i, v := range s {
+			col := 0
+			if maxLen > 1 {
+				col = i * (w - 1) / (maxLen - 1)
+			}
+			row := int(math.Round((hi - v) / (hi - lo) * float64(h-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= h {
+				row = h - 1
+			}
+			grid[row][col] = mark
+		}
+	}
+
+	label := func(v float64) string { return fmt.Sprintf("%10.4g", v) }
+	for r := 0; r < h; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&b, "%s |%s\n", label(hi), grid[r])
+		case h - 1:
+			fmt.Fprintf(&b, "%s |%s\n", label(lo), grid[r])
+		case h / 2:
+			fmt.Fprintf(&b, "%s |%s\n", label((hi+lo)/2), grid[r])
+		default:
+			fmt.Fprintf(&b, "%10s |%s\n", "", grid[r])
+		}
+	}
+	fmt.Fprintf(&b, "%10s +%s\n", "", strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%10s  1%s%d\n", p.YLabel, strings.Repeat(" ", w-2-len(fmt.Sprint(maxLen))), maxLen)
+	// Legend.
+	b.WriteString("           ")
+	for i, n := range p.names {
+		fmt.Fprintf(&b, " %c=%s", seriesMarks[i%len(seriesMarks)], n)
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ConvergencePlot renders the mean best-so-far curves of all algorithms at
+// one batch size — a terminal rendition of the paper's Figures 3–7.
+func (r *StudyResult) ConvergencePlot(q int) string {
+	p := &AsciiPlot{Title: fmt.Sprintf("%s: mean best-so-far vs simulations, n_batch = %d", r.Problem, q)}
+	for _, alg := range r.Config.Algorithms {
+		tr := r.ConvergenceTrace(alg, q)
+		ys := make([]float64, len(tr))
+		for i, pt := range tr {
+			ys[i] = pt.Mean
+		}
+		p.Add(alg, ys)
+	}
+	return p.Render()
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/benchfunc"
+)
+
+func TestAsciiPlotBasics(t *testing.T) {
+	p := &AsciiPlot{Title: "demo", Width: 40, Height: 8}
+	p.Add("up", []float64{1, 2, 3, 4, 5})
+	p.Add("down", []float64{5, 4, 3, 2, 1})
+	out := p.Render()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "*=up") || !strings.Contains(out, "o=down") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatal("marks missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8+3+1 { // grid + axis + x labels + legend
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestAsciiPlotEmpty(t *testing.T) {
+	p := &AsciiPlot{}
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot = %q", out)
+	}
+}
+
+func TestAsciiPlotConstantSeries(t *testing.T) {
+	p := &AsciiPlot{Width: 20, Height: 5}
+	p.Add("flat", []float64{2, 2, 2})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Fatalf("constant series not drawn:\n%s", out)
+	}
+}
+
+func TestConvergencePlot(t *testing.T) {
+	res, err := RunBenchmarkStudy(benchFuncForPlot(), tinyStudy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.ConvergencePlot(1)
+	if !strings.Contains(out, "n_batch = 1") || !strings.Contains(out, "KB-q-EGO") {
+		t.Fatalf("convergence plot malformed:\n%s", out)
+	}
+}
+
+// benchFuncForPlot avoids an import cycle on the test-local helper.
+func benchFuncForPlot() benchfunc.Function { return benchfunc.Ackley(2) }

@@ -1,0 +1,52 @@
+package gp
+
+import "math"
+
+// LOO holds leave-one-out cross-validation diagnostics of a fitted GP,
+// computed in closed form from the inverse gram matrix (Rasmussen &
+// Williams §5.4.2) — no refitting required.
+type LOO struct {
+	// Mean and SD are the leave-one-out predictive moments for each
+	// training point (raw output units).
+	Mean, SD []float64
+	// RMSE is the root-mean-square leave-one-out residual.
+	RMSE float64
+	// Coverage95 is the fraction of held-out observations inside their
+	// 95% predictive interval — calibrated models score near 0.95.
+	Coverage95 float64
+	// LogPredictive is the summed leave-one-out log predictive density
+	// (larger is better).
+	LogPredictive float64
+}
+
+// LeaveOneOut computes closed-form LOO diagnostics:
+//
+//	μ_i = y_i − [K⁻¹y]_i / [K⁻¹]_ii,  σ²_i = 1 / [K⁻¹]_ii.
+func (g *GP) LeaveOneOut() LOO {
+	n := g.N()
+	kinv := g.chol.Inverse()
+	out := LOO{Mean: make([]float64, n), SD: make([]float64, n)}
+	var sse float64
+	inside := 0
+	for i := 0; i < n; i++ {
+		kii := kinv.At(i, i)
+		if kii <= 0 {
+			kii = 1e-12
+		}
+		muStd := g.ys[i] - g.alpha[i]/kii
+		varStd := 1 / kii
+		mu := g.ymean + g.ystd*muStd
+		sd := g.ystd * math.Sqrt(varStd)
+		out.Mean[i] = mu
+		out.SD[i] = sd
+		resid := g.yraw[i] - mu
+		sse += resid * resid
+		if math.Abs(resid) <= 1.959964*sd {
+			inside++
+		}
+		out.LogPredictive += -0.5*math.Log(2*math.Pi*sd*sd) - resid*resid/(2*sd*sd)
+	}
+	out.RMSE = math.Sqrt(sse / float64(n))
+	out.Coverage95 = float64(inside) / float64(n)
+	return out
+}

@@ -1,0 +1,75 @@
+package gp
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestLeaveOneOutMatchesRefitting(t *testing.T) {
+	// Closed-form LOO must match actually deleting each point and
+	// re-predicting with the same hyperparameters.
+	X, y := sample1D(math.Sin, 0.1, 0.3, 0.5, 0.7, 0.9)
+	c := cfg1d()
+	c.Noise = 1e-4
+	g, err := Fit(X, y, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loo := g.LeaveOneOut()
+	for drop := 0; drop < len(X); drop++ {
+		var subX [][]float64
+		var subY []float64
+		for i := range X {
+			if i != drop {
+				subX = append(subX, X[i])
+				subY = append(subY, y[i])
+			}
+		}
+		// Same hyperparameters: WithData keeps them fixed. Note WithData
+		// keeps the previous standardization too, matching the LOO math.
+		sub, err := WithData(g, subX, subY)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mu, _ := sub.Predict(X[drop])
+		if math.Abs(mu-loo.Mean[drop]) > 2e-2*(1+math.Abs(mu)) {
+			t.Fatalf("point %d: LOO mean %v, refit %v", drop, loo.Mean[drop], mu)
+		}
+	}
+}
+
+func TestLeaveOneOutDiagnosticsReasonable(t *testing.T) {
+	stream := rng.New(17, 17)
+	lo, hi := []float64{0, 0}, []float64{1, 1}
+	n := 60
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		X[i] = stream.UniformVec(lo, hi)
+		y[i] = math.Sin(4*X[i][0]) + X[i][1]
+	}
+	g, err := Fit(X, y, Config{Lo: lo, Hi: hi, Seed: 6, Restarts: 1, MaxIter: 25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loo := g.LeaveOneOut()
+	if loo.RMSE > 0.2 {
+		t.Fatalf("LOO RMSE %v too large for a smooth function", loo.RMSE)
+	}
+	if loo.Coverage95 < 0.75 || loo.Coverage95 > 1 {
+		t.Fatalf("coverage %v implausible", loo.Coverage95)
+	}
+	if math.IsNaN(loo.LogPredictive) || math.IsInf(loo.LogPredictive, 0) {
+		t.Fatalf("log predictive %v", loo.LogPredictive)
+	}
+	if len(loo.Mean) != n || len(loo.SD) != n {
+		t.Fatal("wrong diagnostic lengths")
+	}
+	for _, sd := range loo.SD {
+		if sd <= 0 {
+			t.Fatal("non-positive LOO sd")
+		}
+	}
+}

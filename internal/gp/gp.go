@@ -1,0 +1,600 @@
+// Package gp implements exact Gaussian process regression with a constant
+// trend and homoskedastic observation noise — the surrogate model the paper
+// uses for every BO algorithm. Inputs are normalized to the unit cube and
+// outputs standardized internally; hyperparameters (ARD lengthscales,
+// output scale, noise) are fitted by maximizing the log marginal likelihood
+// with analytic gradients and a warm-started multi-start bounded L-BFGS.
+//
+// The package also provides the two operations batch acquisition needs
+// beyond plain prediction: joint predictive distributions over q points
+// (for Monte-Carlo q-EI) and O(n²) Kriging-Believer "fantasy" updates via
+// incremental Cholesky extension.
+package gp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/mat"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+// KernelKind selects the covariance family for Config.
+type KernelKind int
+
+// Supported kernel families.
+const (
+	Matern52 KernelKind = iota // paper default
+	Matern32
+	SE
+)
+
+// Config controls GP construction and hyperparameter fitting.
+type Config struct {
+	// Kernel selects the covariance family (default Matern52, as in the
+	// paper).
+	Kernel KernelKind
+	// Bounds are the lower/upper corners of the design space, used to
+	// normalize inputs to the unit cube. Required.
+	Lo, Hi []float64
+	// Noise fixes the observation noise variance (standardized-output
+	// scale) when > 0; when 0, noise is fitted as a hyperparameter.
+	Noise float64
+	// Restarts is the number of random restarts for hyperparameter
+	// optimization in addition to the warm start (default 2).
+	Restarts int
+	// MaxIter bounds L-BFGS iterations per restart (default 50).
+	MaxIter int
+	// FitSubsetMax caps the number of points used during marginal
+	// likelihood optimization (0 = no cap). Prediction always uses all
+	// data. This implements the paper's §4 "use subsets of data"
+	// recommendation and keeps large-batch runs tractable.
+	FitSubsetMax int
+	// Seed derives the deterministic streams used in fitting.
+	Seed uint64
+}
+
+func (c *Config) validate() error {
+	if len(c.Lo) == 0 || len(c.Lo) != len(c.Hi) {
+		return fmt.Errorf("gp: invalid bounds (lo %d, hi %d)", len(c.Lo), len(c.Hi))
+	}
+	for i := range c.Lo {
+		if !(c.Lo[i] < c.Hi[i]) {
+			return fmt.Errorf("gp: bounds[%d] = [%v, %v] not increasing", i, c.Lo[i], c.Hi[i])
+		}
+	}
+	return nil
+}
+
+func (c *Config) newKernel(d int) kernel.Kernel {
+	switch c.Kernel {
+	case Matern32:
+		return kernel.NewMatern32(d)
+	case SE:
+		return kernel.NewSE(d)
+	default:
+		return kernel.NewMatern52(d)
+	}
+}
+
+// Hyperparameter bounds in log space on normalized inputs/outputs.
+var (
+	logVarLo, logVarHi     = math.Log(0.02), math.Log(20.0)
+	logLenLo, logLenHi     = math.Log(0.01), math.Log(4.0)
+	logNoiseLo, logNoiseHi = math.Log(1e-6), math.Log(1e-1)
+)
+
+// GP is a fitted Gaussian process model. It is immutable after Fit;
+// Fantasize returns derived models sharing hyperparameters.
+type GP struct {
+	cfg  Config
+	kern kernel.Kernel
+	d    int
+
+	x     *mat.Dense // normalized inputs, n×d
+	yraw  []float64  // original outputs
+	ymean float64    // output standardization
+	ystd  float64
+	ys    []float64 // standardized outputs
+
+	noise float64 // noise variance in standardized space
+	chol  *mat.Cholesky
+	alpha []float64 // (K+σ²I)⁻¹ ys
+
+	warmParams []float64 // packed [kernel params..., logNoise] for refits
+	fitLML     float64   // LML achieved at fit time
+}
+
+// ErrEmptyData is returned when fitting with no observations.
+var ErrEmptyData = errors.New("gp: no training data")
+
+// Fit trains a GP on the given raw-space observations.
+func Fit(xs [][]float64, ys []float64, cfg Config) (*GP, error) {
+	return fitWarm(xs, ys, cfg, nil)
+}
+
+// Refit trains a new GP on updated data, warm-starting hyperparameter
+// optimization from a previously fitted model. This is how the BO loop
+// refits the surrogate each cycle.
+func Refit(prev *GP, xs [][]float64, ys []float64) (*GP, error) {
+	if prev == nil {
+		panic("gp: Refit with nil previous model")
+	}
+	return fitWarm(xs, ys, prev.cfg, prev.warmParams)
+}
+
+// WithData conditions a new GP on updated data while keeping the previous
+// model's hyperparameters fixed — a factorize-only refit, O(n³) but with
+// no marginal-likelihood optimization. BO engines alternate WithData with
+// full Refit calls to bound the per-cycle fitting cost.
+func WithData(prev *GP, xs [][]float64, ys []float64) (*GP, error) {
+	if prev == nil {
+		panic("gp: WithData with nil previous model")
+	}
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, ErrEmptyData
+	}
+	cfg := prev.cfg
+	d := len(cfg.Lo)
+	g := &GP{cfg: cfg, d: d, kern: prev.kern, noise: prev.noise,
+		warmParams: prev.warmParams, fitLML: prev.fitLML}
+	g.x = mat.NewDense(n, d, nil)
+	for i, p := range xs {
+		if len(p) != d {
+			return nil, fmt.Errorf("gp: point %d has dim %d, want %d", i, len(p), d)
+		}
+		row := g.x.Row(i)
+		for j := range p {
+			row[j] = (p[j] - cfg.Lo[j]) / (cfg.Hi[j] - cfg.Lo[j])
+		}
+	}
+	g.yraw = mat.CloneVec(ys)
+	// Keep the previous output standardization: hyperparameters were
+	// fitted against it.
+	g.ymean, g.ystd = prev.ymean, prev.ystd
+	g.ys = make([]float64, n)
+	for i, v := range ys {
+		g.ys[i] = (v - g.ymean) / g.ystd
+	}
+	if err := g.factorize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func fitWarm(xs [][]float64, ys []float64, cfg Config, warm []float64) (*GP, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, ErrEmptyData
+	}
+	d := len(cfg.Lo)
+	g := &GP{cfg: cfg, d: d, kern: cfg.newKernel(d)}
+
+	// Normalize inputs and standardize outputs.
+	g.x = mat.NewDense(n, d, nil)
+	for i, p := range xs {
+		if len(p) != d {
+			return nil, fmt.Errorf("gp: point %d has dim %d, want %d", i, len(p), d)
+		}
+		row := g.x.Row(i)
+		for j := range p {
+			row[j] = (p[j] - cfg.Lo[j]) / (cfg.Hi[j] - cfg.Lo[j])
+		}
+	}
+	g.yraw = mat.CloneVec(ys)
+	g.ymean, g.ystd = meanStd(ys)
+	if g.ystd < 1e-12 {
+		g.ystd = 1 // constant outputs: keep scale identity
+	}
+	g.ys = make([]float64, n)
+	for i, v := range ys {
+		g.ys[i] = (v - g.ymean) / g.ystd
+	}
+
+	if err := g.optimizeHyper(warm); err != nil {
+		return nil, err
+	}
+	if err := g.factorize(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func meanStd(v []float64) (mean, std float64) {
+	n := float64(len(v))
+	for _, x := range v {
+		mean += x
+	}
+	mean /= n
+	for _, x := range v {
+		std += (x - mean) * (x - mean)
+	}
+	if len(v) > 1 {
+		std = math.Sqrt(std / (n - 1))
+	}
+	return mean, std
+}
+
+// packParams returns [kernelParams..., logNoise?]. Noise is only a free
+// parameter when cfg.Noise <= 0.
+func (g *GP) packBounds() (lo, hi []float64) {
+	lo = append(lo, logVarLo)
+	hi = append(hi, logVarHi)
+	for i := 0; i < g.d; i++ {
+		lo = append(lo, logLenLo)
+		hi = append(hi, logLenHi)
+	}
+	if g.cfg.Noise <= 0 {
+		lo = append(lo, logNoiseLo)
+		hi = append(hi, logNoiseHi)
+	}
+	return lo, hi
+}
+
+func (g *GP) applyParams(p []float64) {
+	nk := g.kern.NumParams()
+	g.kern.SetParams(p[:nk])
+	if g.cfg.Noise > 0 {
+		g.noise = g.cfg.Noise
+	} else {
+		g.noise = math.Exp(p[nk])
+	}
+}
+
+func (g *GP) defaultParams() []float64 {
+	p := make([]float64, 0, g.kern.NumParams()+1)
+	p = append(p, 0) // log σ² = 0
+	for i := 0; i < g.d; i++ {
+		p = append(p, math.Log(0.3)) // moderate lengthscale on unit cube
+	}
+	if g.cfg.Noise <= 0 {
+		p = append(p, math.Log(1e-4))
+	}
+	return p
+}
+
+// optimizeHyper maximizes the log marginal likelihood over packed params.
+func (g *GP) optimizeHyper(warm []float64) error {
+	lo, hi := g.packBounds()
+	np := len(lo)
+
+	// Subset of data for the LML objective when configured and large.
+	fitX, fitY := g.x, g.ys
+	if m := g.cfg.FitSubsetMax; m > 0 && g.x.Rows() > m {
+		stream := rng.New(g.cfg.Seed, 101)
+		perm := stream.Perm(g.x.Rows())[:m]
+		fitX = mat.NewDense(m, g.d, nil)
+		fitY = make([]float64, m)
+		for i, idx := range perm {
+			copy(fitX.Row(i), g.x.Row(idx))
+			fitY[i] = g.ys[idx]
+		}
+	}
+
+	obj := func(p, grad []float64) float64 {
+		lml, gr, err := g.logMarginalLikelihood(fitX, fitY, p)
+		if err != nil {
+			// Non-PD even after jitter: return a large penalty pushing away.
+			for i := range grad {
+				grad[i] = 0
+			}
+			return 1e10
+		}
+		for i := range grad {
+			grad[i] = -gr[i]
+		}
+		return -lml
+	}
+
+	maxIter := g.cfg.MaxIter
+	if maxIter <= 0 {
+		maxIter = 50
+	}
+	restarts := g.cfg.Restarts
+	if restarts < 0 {
+		restarts = 0
+	} else if restarts == 0 {
+		restarts = 2
+	}
+	if warm != nil {
+		// Warm-started refits already sit near a good optimum; spend the
+		// random-restart budget sparingly.
+		restarts /= 2
+	}
+
+	starts := make([][]float64, 0, restarts+1)
+	if warm != nil && len(warm) == np {
+		w := mat.CloneVec(warm)
+		for i := range w {
+			w[i] = math.Min(math.Max(w[i], lo[i]), hi[i])
+		}
+		starts = append(starts, w)
+	} else {
+		starts = append(starts, g.defaultParams())
+	}
+	stream := rng.New(g.cfg.Seed, 77)
+	starts = append(starts, rng.SobolDesign(restarts, lo, hi, stream)...)
+
+	ms := &optim.MultiStart{Local: &optim.LBFGSB{MaxIter: maxIter, GTol: 1e-5, MaxEvals: 2 * maxIter, MaxLineSearch: 12}}
+	res := ms.Run(obj, starts, lo, hi)
+	g.applyParams(res.X)
+	g.warmParams = mat.CloneVec(res.X)
+	g.fitLML = -res.F
+	return nil
+}
+
+// gram builds K(X,X) + noise·I for the current kernel state.
+func (g *GP) gram(x *mat.Dense) *mat.Dense {
+	n := x.Rows()
+	k := mat.NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		for j := 0; j <= i; j++ {
+			v := g.kern.Eval(xi, x.Row(j))
+			if i == j {
+				v += g.noise
+			}
+			k.Set(i, j, v)
+			k.Set(j, i, v)
+		}
+	}
+	return k
+}
+
+// logMarginalLikelihood evaluates the LML and its gradient w.r.t. packed
+// params p on the given (normalized) data.
+func (g *GP) logMarginalLikelihood(x *mat.Dense, y []float64, p []float64) (float64, []float64, error) {
+	g.applyParams(p)
+	n := x.Rows()
+	k := g.gram(x)
+	ch, err := mat.NewCholesky(k, 0, 0)
+	if err != nil {
+		return 0, nil, err
+	}
+	alpha := ch.SolveVec(y)
+	lml := -0.5*mat.Dot(y, alpha) - 0.5*ch.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
+
+	// Gradient: ∂LML/∂θ = ½ tr((ααᵀ − K⁻¹)·∂K/∂θ).
+	kinv := ch.Inverse()
+	// A = ααᵀ − K⁻¹ (symmetric).
+	a := kinv
+	a.Scale(-1)
+	a.SymOuterUpdate(1, alpha)
+
+	np := len(p)
+	nk := g.kern.NumParams()
+	grad := make([]float64, np)
+	kg := make([]float64, nk)
+	for i := 0; i < n; i++ {
+		xi := x.Row(i)
+		arow := a.Row(i)
+		for j := 0; j <= i; j++ {
+			g.kern.EvalWithGrad(xi, x.Row(j), kg)
+			w := arow[j]
+			scale := 1.0
+			if i != j {
+				scale = 2.0 // symmetric off-diagonal counted twice
+			}
+			for t := 0; t < nk; t++ {
+				grad[t] += 0.5 * scale * w * kg[t]
+			}
+		}
+	}
+	if g.cfg.Noise <= 0 {
+		// ∂K/∂ log σₙ² = σₙ²·I.
+		var tr float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+		}
+		grad[nk] = 0.5 * g.noise * tr
+	}
+	return lml, grad, nil
+}
+
+// factorize computes the full-data Cholesky and alpha for prediction.
+func (g *GP) factorize() error {
+	k := g.gram(g.x)
+	ch, err := mat.NewCholesky(k, 0, 0)
+	if err != nil {
+		return fmt.Errorf("gp: final factorization failed: %w", err)
+	}
+	g.chol = ch
+	g.alpha = ch.SolveVec(g.ys)
+	return nil
+}
+
+// N returns the number of training points.
+func (g *GP) N() int { return g.x.Rows() }
+
+// Dim returns the input dimension.
+func (g *GP) Dim() int { return g.d }
+
+// LML returns the log marginal likelihood achieved during fitting.
+func (g *GP) LML() float64 { return g.fitLML }
+
+// Noise returns the fitted (or fixed) noise variance in standardized space.
+func (g *GP) Noise() float64 { return g.noise }
+
+// Lengthscales returns the fitted ARD lengthscales on the normalized unit
+// cube, one per input dimension. TuRBO uses these to shape its trust region.
+func (g *GP) Lengthscales() []float64 { return kernel.Lengthscales(g.kern) }
+
+// Hyperparameters returns the packed log-hyperparameters (kernel params
+// followed by log-noise when fitted).
+func (g *GP) Hyperparameters() []float64 { return mat.CloneVec(g.warmParams) }
+
+// normalize maps a raw-space point to the unit cube.
+func (g *GP) normalize(x []float64) []float64 {
+	if len(x) != g.d {
+		panic(fmt.Sprintf("gp: point dim %d != %d", len(x), g.d))
+	}
+	u := make([]float64, g.d)
+	for j := range x {
+		u[j] = (x[j] - g.cfg.Lo[j]) / (g.cfg.Hi[j] - g.cfg.Lo[j])
+	}
+	return u
+}
+
+// Predict returns the posterior mean and standard deviation of the latent
+// function at a raw-space point x.
+func (g *GP) Predict(x []float64) (mean, sd float64) {
+	u := g.normalize(x)
+	n := g.N()
+	ks := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kern.Eval(u, g.x.Row(i))
+	}
+	mu := mat.Dot(ks, g.alpha)
+	v := g.chol.ForwardSolveVec(ks)
+	variance := g.kern.Eval(u, u) - mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return g.ymean + g.ystd*mu, g.ystd * math.Sqrt(variance)
+}
+
+// PredictWithGrad returns the posterior mean and sd at x plus their
+// gradients with respect to x (raw space). Used by gradient-based EI/UCB
+// optimization.
+func (g *GP) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float64) {
+	u := g.normalize(x)
+	n := g.N()
+	ks := make([]float64, n)
+	// dks[i][j] = ∂k(u, x_i)/∂u_j, accumulated into gradient sums directly.
+	dMeanU := make([]float64, g.d)
+	dVarU := make([]float64, g.d)
+	kg := make([]float64, g.d)
+	for i := 0; i < n; i++ {
+		ks[i] = g.kern.Eval(u, g.x.Row(i))
+	}
+	v := g.chol.ForwardSolveVec(ks) // L⁻¹ k*
+	w := g.chol.BackSolveVec(v)     // K⁻¹ k*
+	mu := mat.Dot(ks, g.alpha)      // standardized mean
+	variance := g.kern.Eval(u, u) - mat.Dot(v, v)
+	if variance < 1e-300 {
+		variance = 1e-300
+	}
+	for i := 0; i < n; i++ {
+		g.kern.GradX(u, g.x.Row(i), kg)
+		ai := g.alpha[i]
+		wi := w[i]
+		for j := 0; j < g.d; j++ {
+			dMeanU[j] += ai * kg[j]
+			dVarU[j] += -2 * wi * kg[j] // ∂(k**−k*ᵀK⁻¹k*)/∂u; k** constant for stationary kernels
+		}
+	}
+	sdStd := math.Sqrt(variance)
+	dMean = make([]float64, g.d)
+	dSD = make([]float64, g.d)
+	for j := 0; j < g.d; j++ {
+		du := 1 / (g.cfg.Hi[j] - g.cfg.Lo[j]) // chain rule u→x
+		dMean[j] = g.ystd * dMeanU[j] * du
+		dSD[j] = g.ystd * dVarU[j] / (2 * sdStd) * du
+	}
+	return g.ymean + g.ystd*mu, g.ystd * sdStd, dMean, dSD
+}
+
+// JointPrediction is the posterior over a batch of q points: mean vector
+// and the lower Cholesky factor of the covariance, both in raw output
+// units. Monte-Carlo q-EI samples y = Mean + CovChol·z with z ~ N(0, I).
+type JointPrediction struct {
+	Mean    []float64
+	CovChol *mat.Dense
+}
+
+// PredictJoint returns the joint posterior of the latent function at the
+// given raw-space points.
+func (g *GP) PredictJoint(xs [][]float64) (*JointPrediction, error) {
+	q := len(xs)
+	if q == 0 {
+		panic("gp: PredictJoint with no points")
+	}
+	n := g.N()
+	us := make([][]float64, q)
+	for i, x := range xs {
+		us[i] = g.normalize(x)
+	}
+	mean := make([]float64, q)
+	vstore := mat.NewDense(q, n, nil) // row i holds L⁻¹ k*(x_i)
+	ks := make([]float64, n)
+	for i := 0; i < q; i++ {
+		for t := 0; t < n; t++ {
+			ks[t] = g.kern.Eval(us[i], g.x.Row(t))
+		}
+		mean[i] = g.ymean + g.ystd*mat.Dot(ks, g.alpha)
+		copy(vstore.Row(i), g.chol.ForwardSolveVec(ks))
+	}
+	cov := mat.NewDense(q, q, nil)
+	for i := 0; i < q; i++ {
+		for j := 0; j <= i; j++ {
+			c := g.kern.Eval(us[i], us[j]) - mat.Dot(vstore.Row(i), vstore.Row(j))
+			c *= g.ystd * g.ystd
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	ch, err := mat.NewCholesky(cov, 1e-10, 1e-2)
+	if err != nil {
+		return nil, fmt.Errorf("gp: joint covariance not PD: %w", err)
+	}
+	return &JointPrediction{Mean: mean, CovChol: ch.L().Clone()}, nil
+}
+
+// Fantasize returns a new GP that additionally conditions on the
+// observation (x, y) in raw space without re-estimating hyperparameters —
+// the Kriging-Believer partial update. Cost is O(n²) via incremental
+// Cholesky extension.
+func (g *GP) Fantasize(x []float64, y float64) (*GP, error) {
+	u := g.normalize(x)
+	n := g.N()
+	b := mat.NewDense(n, 1, nil)
+	for i := 0; i < n; i++ {
+		b.Set(i, 0, g.kern.Eval(g.x.Row(i), u))
+	}
+	cc := mat.NewDense(1, 1, nil)
+	cc.Set(0, 0, g.kern.Eval(u, u)+g.noise)
+	ext, err := g.chol.Extend(b, cc)
+	if err != nil {
+		return nil, fmt.Errorf("gp: fantasy extension failed: %w", err)
+	}
+	ng := &GP{
+		cfg: g.cfg, kern: g.kern, d: g.d,
+		ymean: g.ymean, ystd: g.ystd,
+		noise: g.noise, chol: ext,
+		warmParams: g.warmParams, fitLML: g.fitLML,
+	}
+	ng.x = mat.NewDense(n+1, g.d, nil)
+	for i := 0; i < n; i++ {
+		copy(ng.x.Row(i), g.x.Row(i))
+	}
+	copy(ng.x.Row(n), u)
+	ng.yraw = append(mat.CloneVec(g.yraw), y)
+	ng.ys = append(mat.CloneVec(g.ys), (y-g.ymean)/g.ystd)
+	ng.alpha = ext.SolveVec(ng.ys)
+	return ng, nil
+}
+
+// BestObserved returns the index, point (raw space) and value of the best
+// training observation according to minimize (true → smallest y).
+func (g *GP) BestObserved(minimize bool) (idx int, x []float64, y float64) {
+	idx = 0
+	y = g.yraw[0]
+	for i, v := range g.yraw {
+		if (minimize && v < y) || (!minimize && v > y) {
+			idx, y = i, v
+		}
+	}
+	u := g.x.Row(idx)
+	x = make([]float64, g.d)
+	for j := range x {
+		x[j] = g.cfg.Lo[j] + u[j]*(g.cfg.Hi[j]-g.cfg.Lo[j])
+	}
+	return idx, x, y
+}

@@ -1,0 +1,229 @@
+package gp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// RFF is a random-Fourier-feature approximation of a stationary-kernel GP
+// (Rahimi & Recht): k(x, y) ≈ φ(x)ᵀφ(y) with φ_m(x) = √(2σ²/M)·cos(wᵀx+b),
+// where the frequencies w follow the kernel's spectral density. Fitting is
+// Bayesian linear regression over the M feature weights, so training costs
+// O(n·M² + M³) and prediction O(M) — independent of n. This is the
+// "fast-to-fit surrogate" remedy the paper's §4 recommends for the
+// time-budget scalability wall, and its weight-space posterior yields
+// analytic, differentiable Thompson sample paths for batch acquisition.
+//
+// Frequencies for the Matérn-ν family are drawn from a multivariate
+// Student-t with 2ν degrees of freedom; the squared-exponential uses a
+// Gaussian.
+type RFF struct {
+	cfg      Config
+	features int
+	d        int
+
+	w   *mat.Dense // M×d frequency matrix (normalized input space)
+	b   []float64  // M phase offsets
+	amp float64    // √(2σ²/M)
+
+	ymean, ystd float64
+	noise       float64
+
+	chol  *mat.Cholesky // factor of (ΦᵀΦ + σₙ²·I), M×M
+	wMean []float64     // posterior weight mean, length M
+}
+
+// RFFConfig extends Config with the feature count.
+type RFFConfig struct {
+	Config
+	// Features is the number of random Fourier features M (default 256).
+	Features int
+}
+
+// FitRFF trains an RFF surrogate on raw-space observations, reusing the
+// lengthscales and noise of a previously fitted exact GP when prev is
+// non-nil (the cheap path used inside BO loops: fit the exact GP rarely,
+// refresh the RFF every cycle), or sensible defaults otherwise.
+func FitRFF(xs [][]float64, ys []float64, cfg RFFConfig, prev *GP) (*RFF, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	n := len(xs)
+	if n == 0 || n != len(ys) {
+		return nil, ErrEmptyData
+	}
+	m := cfg.Features
+	if m <= 0 {
+		m = 256
+	}
+	d := len(cfg.Lo)
+
+	// Hyperparameters: borrow from the exact GP when available.
+	lengthscales := make([]float64, d)
+	variance := 1.0
+	noise := cfg.Noise
+	if prev != nil {
+		copy(lengthscales, prev.Lengthscales())
+		p := prev.warmParams
+		variance = math.Exp(p[0])
+		if noise <= 0 {
+			noise = prev.noise
+		}
+	} else {
+		for i := range lengthscales {
+			lengthscales[i] = 0.3
+		}
+		if noise <= 0 {
+			noise = 1e-4
+		}
+	}
+
+	r := &RFF{cfg: cfg.Config, features: m, d: d, noise: noise}
+	r.amp = math.Sqrt(2 * variance / float64(m))
+
+	// Draw frequencies from the Matérn-5/2 spectral density: a
+	// multivariate Student-t with 2ν = 5 degrees of freedom, scaled by the
+	// inverse lengthscales. (Config.Kernel SE selects a Gaussian instead.)
+	stream := rng.New(cfg.Seed, 4242)
+	r.w = mat.NewDense(m, d, nil)
+	r.b = make([]float64, m)
+	const dof = 5.0
+	for i := 0; i < m; i++ {
+		row := r.w.Row(i)
+		scale := 1.0
+		if cfg.Kernel != SE {
+			// χ²_dof via sum of squared normals.
+			var chi2 float64
+			for k := 0; k < int(dof); k++ {
+				z := stream.Norm()
+				chi2 += z * z
+			}
+			scale = math.Sqrt(dof / chi2)
+		}
+		for j := 0; j < d; j++ {
+			row[j] = stream.Norm() / lengthscales[j] * scale
+		}
+		r.b[i] = stream.Uniform(0, 2*math.Pi)
+	}
+
+	// Standardize outputs.
+	r.ymean, r.ystd = meanStd(ys)
+	if r.ystd < 1e-12 {
+		r.ystd = 1
+	}
+
+	// Feature matrix Φ (n×M) and normal equations.
+	phi := mat.NewDense(n, m, nil)
+	u := make([]float64, d)
+	for i, x := range xs {
+		if len(x) != d {
+			return nil, fmt.Errorf("gp: rff point %d has dim %d, want %d", i, len(x), d)
+		}
+		for j := range x {
+			u[j] = (x[j] - cfg.Lo[j]) / (cfg.Hi[j] - cfg.Lo[j])
+		}
+		r.featurize(u, phi.Row(i))
+	}
+	a := mat.NewDense(m, m, nil)
+	for i := 0; i < n; i++ {
+		a.SymOuterUpdate(1, phi.Row(i))
+	}
+	for i := 0; i < m; i++ {
+		a.Add(i, i, noise)
+	}
+	ch, err := mat.NewCholesky(a, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("gp: rff normal equations not PD: %w", err)
+	}
+	r.chol = ch
+	// Posterior mean weights: A⁻¹ Φᵀ ys.
+	rhs := make([]float64, m)
+	for i := 0; i < n; i++ {
+		ysd := (ys[i] - r.ymean) / r.ystd
+		mat.AxpyVec(ysd, phi.Row(i), rhs)
+	}
+	r.wMean = ch.SolveVec(rhs)
+	return r, nil
+}
+
+// featurize writes φ(u) for a normalized point u into dst (length M).
+func (r *RFF) featurize(u []float64, dst []float64) {
+	for i := 0; i < r.features; i++ {
+		dst[i] = r.amp * math.Cos(mat.Dot(r.w.Row(i), u)+r.b[i])
+	}
+}
+
+// Features returns the number of random features M.
+func (r *RFF) Features() int { return r.features }
+
+// Predict returns the posterior mean and standard deviation at a raw-space
+// point.
+func (r *RFF) Predict(x []float64) (mean, sd float64) {
+	u := r.normalize(x)
+	phi := make([]float64, r.features)
+	r.featurize(u, phi)
+	mu := mat.Dot(phi, r.wMean)
+	// Weight-space posterior: Cov θ = σₙ²·A⁻¹ with A = ΦᵀΦ + σₙ²·I, so
+	// Var f(x) = σₙ²·φᵀA⁻¹φ = σₙ²·‖L⁻¹φ‖².
+	v := r.chol.ForwardSolveVec(phi)
+	variance := r.noise * mat.Dot(v, v)
+	if variance < 0 {
+		variance = 0
+	}
+	return r.ymean + r.ystd*mu, r.ystd * math.Sqrt(variance)
+}
+
+func (r *RFF) normalize(x []float64) []float64 {
+	if len(x) != r.d {
+		panic(fmt.Sprintf("gp: rff point dim %d != %d", len(x), r.d))
+	}
+	u := make([]float64, r.d)
+	for j := range x {
+		u[j] = (x[j] - r.cfg.Lo[j]) / (r.cfg.Hi[j] - r.cfg.Lo[j])
+	}
+	return u
+}
+
+// SamplePath draws one posterior sample of the latent function as an
+// analytic, differentiable function of x (raw space): f(x) = φ(x)ᵀθ with
+// θ ~ N(wMean, σₙ²·A⁻¹). Each call consumes stream randomness; the
+// returned closures are valid independently and are safe for concurrent
+// use with each other.
+func (r *RFF) SamplePath(stream *rng.Stream) (f func(x []float64) float64, grad func(x, g []float64) float64) {
+	// θ = wMean + √σₙ²·L⁻ᵀ z solves cov = σₙ²·A⁻¹ = σₙ²·(LLᵀ)⁻¹.
+	z := stream.NormVec(r.features)
+	back := r.chol.BackSolveVec(z)
+	theta := mat.CloneVec(r.wMean)
+	mat.AxpyVec(math.Sqrt(r.noise), back, theta)
+
+	eval := func(x []float64) float64 {
+		u := r.normalize(x)
+		var s float64
+		for i := 0; i < r.features; i++ {
+			s += theta[i] * r.amp * math.Cos(mat.Dot(r.w.Row(i), u)+r.b[i])
+		}
+		return r.ymean + r.ystd*s
+	}
+	gradEval := func(x, g []float64) float64 {
+		u := r.normalize(x)
+		for j := range g {
+			g[j] = 0
+		}
+		var s float64
+		for i := 0; i < r.features; i++ {
+			arg := mat.Dot(r.w.Row(i), u) + r.b[i]
+			s += theta[i] * r.amp * math.Cos(arg)
+			coef := -theta[i] * r.amp * math.Sin(arg)
+			wrow := r.w.Row(i)
+			for j := 0; j < r.d; j++ {
+				g[j] += coef * wrow[j] / (r.cfg.Hi[j] - r.cfg.Lo[j])
+			}
+		}
+		mat.ScaleVec(r.ystd, g)
+		return r.ymean + r.ystd*s
+	}
+	return eval, gradEval
+}

@@ -1,0 +1,268 @@
+package mat
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNotPositiveDefinite is returned when a matrix cannot be factorized even
+// after the maximum jitter has been added to its diagonal.
+var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
+
+// Cholesky holds a lower-triangular Cholesky factor L with A = L·Lᵀ.
+// The factor owns its storage; the input matrix is never modified.
+type Cholesky struct {
+	n      int
+	l      *Dense  // lower triangular, n×n
+	jitter float64 // diagonal jitter that was added to achieve factorization
+}
+
+// NewCholesky factorizes the symmetric positive-definite matrix a. Only the
+// lower triangle of a is read. If the factorization fails, exponentially
+// increasing jitter (starting at startJitter, up to maxJitter) is added to
+// the diagonal; the jitter actually used is recorded and queryable via
+// Jitter. startJitter <= 0 selects a default relative to the mean diagonal.
+func NewCholesky(a *Dense, startJitter, maxJitter float64) (*Cholesky, error) {
+	if a.rows != a.cols {
+		panic(fmt.Sprintf("mat: cholesky of non-square %d×%d", a.rows, a.cols))
+	}
+	n := a.rows
+	if startJitter <= 0 {
+		var meanDiag float64
+		for i := 0; i < n; i++ {
+			meanDiag += a.At(i, i)
+		}
+		if n > 0 {
+			meanDiag /= float64(n)
+		}
+		startJitter = 1e-10 * math.Max(meanDiag, 1)
+	}
+	if maxJitter <= 0 {
+		maxJitter = startJitter * 1e8
+	}
+	c := &Cholesky{n: n, l: NewDense(n, n, nil)}
+	jitter := 0.0
+	for {
+		if c.factorize(a, jitter) {
+			c.jitter = jitter
+			return c, nil
+		}
+		if jitter == 0 {
+			jitter = startJitter
+		} else {
+			jitter *= 100 // escalate fast: every retry is a full O(n³) pass
+		}
+		if jitter > maxJitter {
+			return nil, ErrNotPositiveDefinite
+		}
+	}
+}
+
+// factorize attempts an in-place Cholesky of a + jitter·I into c.l, returning
+// false on a non-positive pivot.
+func (c *Cholesky) factorize(a *Dense, jitter float64) bool {
+	n := c.n
+	l := c.l
+	l.Zero()
+	for i := 0; i < n; i++ {
+		lrow := l.Row(i)
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			if i == j {
+				sum += jitter
+			}
+			ljrow := l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= lrow[k] * ljrow[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return false
+				}
+				lrow[j] = math.Sqrt(sum)
+			} else {
+				lrow[j] = sum / ljrow[j]
+			}
+		}
+	}
+	return true
+}
+
+// Size returns the order of the factorized matrix.
+func (c *Cholesky) Size() int { return c.n }
+
+// Jitter returns the diagonal jitter that was added during factorization.
+func (c *Cholesky) Jitter() float64 { return c.jitter }
+
+// L returns the lower-triangular factor. The returned matrix aliases the
+// Cholesky's internal storage and must not be modified.
+func (c *Cholesky) L() *Dense { return c.l }
+
+// LogDet returns log|A| = 2·Σ log L_ii.
+func (c *Cholesky) LogDet() float64 {
+	var s float64
+	for i := 0; i < c.n; i++ {
+		s += math.Log(c.l.data[i*c.n+i])
+	}
+	return 2 * s
+}
+
+// SolveVec solves A·x = b and returns x.
+func (c *Cholesky) SolveVec(b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: cholesky solve length %d != %d", len(b), c.n))
+	}
+	y := CloneVec(b)
+	c.forwardSolve(y)
+	c.backSolve(y)
+	return y
+}
+
+// ForwardSolveVec solves L·y = b in a fresh vector.
+func (c *Cholesky) ForwardSolveVec(b []float64) []float64 {
+	y := CloneVec(b)
+	c.forwardSolve(y)
+	return y
+}
+
+// BackSolveVec solves Lᵀ·x = b in a fresh vector.
+func (c *Cholesky) BackSolveVec(b []float64) []float64 {
+	y := CloneVec(b)
+	c.backSolve(y)
+	return y
+}
+
+func (c *Cholesky) forwardSolve(y []float64) {
+	n := c.n
+	for i := 0; i < n; i++ {
+		row := c.l.Row(i)
+		s := y[i]
+		for k := 0; k < i; k++ {
+			s -= row[k] * y[k]
+		}
+		y[i] = s / row[i]
+	}
+}
+
+func (c *Cholesky) backSolve(y []float64) {
+	n := c.n
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= c.l.data[k*n+i] * y[k]
+		}
+		y[i] = s / c.l.data[i*n+i]
+	}
+}
+
+// SolveMat solves A·X = B column-wise and returns X.
+func (c *Cholesky) SolveMat(b *Dense) *Dense {
+	if b.rows != c.n {
+		panic(fmt.Sprintf("mat: cholesky solve rows %d != %d", b.rows, c.n))
+	}
+	x := NewDense(b.rows, b.cols, nil)
+	col := make([]float64, c.n)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < c.n; i++ {
+			col[i] = b.At(i, j)
+		}
+		c.forwardSolve(col)
+		c.backSolve(col)
+		for i := 0; i < c.n; i++ {
+			x.Set(i, j, col[i])
+		}
+	}
+	return x
+}
+
+// Inverse returns A⁻¹ explicitly via the triangular inverse
+// A⁻¹ = L⁻ᵀ·L⁻¹. This is an O(n³) operation (roughly 3× cheaper than
+// solving against the identity); prefer the solve methods when only
+// products with A⁻¹ are needed.
+func (c *Cholesky) Inverse() *Dense {
+	n := c.n
+	// wt holds L⁻ᵀ: row i of wt is column i of L⁻¹, kept contiguous so
+	// both phases below stream memory linearly.
+	wt := NewDense(n, n, nil)
+	ld := c.l.data
+	for i := 0; i < n; i++ {
+		wrow := wt.Row(i)
+		wrow[i] = 1 / ld[i*n+i]
+		for k := i + 1; k < n; k++ {
+			lrow := ld[k*n : k*n+k]
+			var s float64
+			for j := i; j < k; j++ {
+				s -= lrow[j] * wrow[j]
+			}
+			wrow[k] = s / ld[k*n+k]
+		}
+	}
+	// A⁻¹[i][j] = Σ_{k>=max(i,j)} L⁻¹[k][i]·L⁻¹[k][j]
+	//           = dot(wt.Row(i)[i:], wt.Row(j)[i:]) for j <= i.
+	inv := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		wi := wt.Row(i)
+		for j := 0; j <= i; j++ {
+			wj := wt.Row(j)
+			var s float64
+			for k := i; k < n; k++ {
+				s += wi[k] * wj[k]
+			}
+			inv.data[i*n+j] = s
+			inv.data[j*n+i] = s
+		}
+	}
+	return inv
+}
+
+// Extend returns a new Cholesky of the (n+m)×(n+m) matrix
+//
+//	[ A   B ]
+//	[ Bᵀ  C ]
+//
+// given the factor of A, the n×m cross block B and the m×m block C. It costs
+// O(n²m + m³) instead of O((n+m)³), which makes Kriging-Believer fantasy
+// updates cheap. The same jitter escalation as NewCholesky is applied to the
+// new diagonal block if needed.
+func (c *Cholesky) Extend(b *Dense, cc *Dense) (*Cholesky, error) {
+	n, m := c.n, cc.rows
+	if b.rows != n || b.cols != m || cc.cols != m {
+		panic(fmt.Sprintf("mat: extend dims B=%d×%d C=%d×%d for n=%d", b.rows, b.cols, cc.rows, cc.cols, n))
+	}
+	nm := n + m
+	out := &Cholesky{n: nm, l: NewDense(nm, nm, nil)}
+	// Copy existing factor into the top-left block.
+	for i := 0; i < n; i++ {
+		copy(out.l.Row(i)[:i+1], c.l.Row(i)[:i+1])
+	}
+	// Off-diagonal block: solve L·w_j = B[:,j] for each new column.
+	w := NewDense(m, n, nil) // row j holds w_j
+	col := make([]float64, n)
+	for j := 0; j < m; j++ {
+		for i := 0; i < n; i++ {
+			col[i] = b.At(i, j)
+		}
+		c.forwardSolve(col)
+		copy(w.Row(j), col)
+		copy(out.l.Row(n + j)[:n], col)
+	}
+	// Schur complement S = C − W·Wᵀ, then factorize it into the new corner.
+	s := NewDense(m, m, nil)
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			v := cc.At(i, j) - Dot(w.Row(i), w.Row(j))
+			s.Set(i, j, v)
+			s.Set(j, i, v)
+		}
+	}
+	sc, err := NewCholesky(s, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < m; i++ {
+		copy(out.l.Row(n + i)[n:n+i+1], sc.l.Row(i)[:i+1])
+	}
+	out.jitter = math.Max(c.jitter, sc.jitter)
+	return out, nil
+}

@@ -1,0 +1,291 @@
+// Package optim provides the optimizers used inside the BO stack: a
+// bound-constrained limited-memory BFGS (the role SciPy's L-BFGS-B plays in
+// BoTorch's optimize_acqf), a multi-start driver, Nelder–Mead for
+// derivative-free refinement, and the classical population baselines the
+// paper's introduction cites (random search, a real-coded genetic algorithm
+// and particle swarm optimization). All optimizers minimize; callers
+// maximize by negating their objective.
+package optim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mat"
+)
+
+// Objective evaluates f at x.
+type Objective func(x []float64) float64
+
+// GradObjective evaluates f at x and writes ∇f into grad (same length as x).
+type GradObjective func(x, grad []float64) float64
+
+// Result reports the outcome of a local or global optimization run.
+type Result struct {
+	X          []float64 // best point found
+	F          float64   // objective value at X
+	Iters      int       // iterations performed
+	Evals      int       // objective evaluations performed
+	Converged  bool      // true if a convergence tolerance was met
+	GradNorm   float64   // final projected gradient norm (gradient methods)
+	StopReason string    // human-readable stop cause
+}
+
+// LBFGSB is a bound-constrained limited-memory BFGS minimizer using gradient
+// projection and Armijo backtracking along the projected ray. It is a
+// practical simplification of Byrd–Lu–Nocedal L-BFGS-B that retains the box
+// handling BO acquisition optimization needs.
+type LBFGSB struct {
+	// Memory is the number of curvature pairs kept (default 8).
+	Memory int
+	// MaxIter bounds the number of outer iterations (default 100).
+	MaxIter int
+	// GTol stops when the projected gradient infinity-norm falls below it
+	// (default 1e-6).
+	GTol float64
+	// FTol stops when the relative objective decrease falls below it
+	// (default 1e-10).
+	FTol float64
+	// ArmijoC is the sufficient-decrease constant (default 1e-4).
+	ArmijoC float64
+	// MaxLineSearch bounds backtracking steps per iteration (default 30).
+	MaxLineSearch int
+	// MaxEvals bounds total objective evaluations (0 = unbounded). The
+	// optimizer stops after the iteration that crosses the budget.
+	MaxEvals int
+}
+
+func (o *LBFGSB) defaults() LBFGSB {
+	d := *o
+	if d.Memory <= 0 {
+		d.Memory = 8
+	}
+	if d.MaxIter <= 0 {
+		d.MaxIter = 100
+	}
+	if d.GTol <= 0 {
+		d.GTol = 1e-6
+	}
+	if d.FTol <= 0 {
+		d.FTol = 1e-10
+	}
+	if d.ArmijoC <= 0 {
+		d.ArmijoC = 1e-4
+	}
+	if d.MaxLineSearch <= 0 {
+		d.MaxLineSearch = 30
+	}
+	return d
+}
+
+// clampToBox projects x onto [lo, hi] in place.
+func clampToBox(x, lo, hi []float64) {
+	for i := range x {
+		if x[i] < lo[i] {
+			x[i] = lo[i]
+		} else if x[i] > hi[i] {
+			x[i] = hi[i]
+		}
+	}
+}
+
+// projGradNorm returns the infinity norm of the projected gradient: gradient
+// components pushing outward at an active bound do not count.
+func projGradNorm(x, g, lo, hi []float64) float64 {
+	var n float64
+	for i := range x {
+		gi := g[i]
+		if x[i] <= lo[i] && gi > 0 {
+			gi = 0
+		}
+		if x[i] >= hi[i] && gi < 0 {
+			gi = 0
+		}
+		if a := math.Abs(gi); a > n {
+			n = a
+		}
+	}
+	return n
+}
+
+// Minimize runs bound-constrained L-BFGS from x0. The bounds must satisfy
+// lo_i <= hi_i; x0 is clamped into the box before the first evaluation.
+func (o *LBFGSB) Minimize(f GradObjective, x0, lo, hi []float64) Result {
+	cfg := o.defaults()
+	n := len(x0)
+	if len(lo) != n || len(hi) != n {
+		panic(fmt.Sprintf("optim: bounds lengths %d,%d != %d", len(lo), len(hi), n))
+	}
+	for i := range lo {
+		if lo[i] > hi[i] {
+			panic(fmt.Sprintf("optim: lo[%d]=%v > hi[%d]=%v", i, lo[i], i, hi[i]))
+		}
+	}
+
+	x := mat.CloneVec(x0)
+	clampToBox(x, lo, hi)
+	g := make([]float64, n)
+	fx := f(x, g)
+	evals := 1
+
+	// Curvature pair ring buffers.
+	type pair struct {
+		s, y []float64
+		rho  float64
+	}
+	var pairs []pair
+
+	dir := make([]float64, n)
+	xNew := make([]float64, n)
+	gNew := make([]float64, n)
+	alphaBuf := make([]float64, cfg.Memory)
+
+	res := Result{X: x, F: fx, Evals: evals}
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		if cfg.MaxEvals > 0 && evals >= cfg.MaxEvals {
+			res.StopReason = "evaluation budget exhausted"
+			break
+		}
+		res.Iters = iter + 1
+		pg := projGradNorm(x, g, lo, hi)
+		res.GradNorm = pg
+		if pg < cfg.GTol {
+			res.Converged = true
+			res.StopReason = "projected gradient below tolerance"
+			break
+		}
+
+		// Two-loop recursion for d = −H·g, masking components at active
+		// bounds so the direction stays feasible.
+		copy(dir, g)
+		for i := range dir {
+			if (x[i] <= lo[i] && g[i] > 0) || (x[i] >= hi[i] && g[i] < 0) {
+				dir[i] = 0
+			}
+		}
+		k := len(pairs)
+		for i := k - 1; i >= 0; i-- {
+			p := pairs[i]
+			alphaBuf[i] = p.rho * mat.Dot(p.s, dir)
+			mat.AxpyVec(-alphaBuf[i], p.y, dir)
+		}
+		if k > 0 {
+			last := pairs[k-1]
+			gamma := mat.Dot(last.s, last.y) / mat.Dot(last.y, last.y)
+			if gamma > 0 && !math.IsInf(gamma, 0) && !math.IsNaN(gamma) {
+				mat.ScaleVec(gamma, dir)
+			}
+		}
+		for i := 0; i < k; i++ {
+			p := pairs[i]
+			beta := p.rho * mat.Dot(p.y, dir)
+			mat.AxpyVec(alphaBuf[i]-beta, p.s, dir)
+		}
+		mat.ScaleVec(-1, dir) // descent direction
+
+		// If the two-loop direction is not a descent direction (can happen
+		// with box masking), fall back to steepest descent.
+		if mat.Dot(dir, g) >= 0 {
+			for i := range dir {
+				dir[i] = -g[i]
+				if (x[i] <= lo[i] && g[i] > 0) || (x[i] >= hi[i] && g[i] < 0) {
+					dir[i] = 0
+				}
+			}
+		}
+
+		// Backtracking Armijo line search along the projected path. Before
+		// any curvature information exists the direction is raw steepest
+		// descent, so scale the first trial step to a unit move.
+		step := 1.0
+		if len(pairs) == 0 {
+			if dn := mat.Norm2(dir); dn > 1 {
+				step = 1 / dn
+			}
+		}
+		var fNew float64
+		accepted := false
+		for ls := 0; ls < cfg.MaxLineSearch; ls++ {
+			for i := range xNew {
+				xNew[i] = x[i] + step*dir[i]
+			}
+			clampToBox(xNew, lo, hi)
+			fNew = f(xNew, gNew)
+			evals++
+			// Sufficient decrease relative to the actual (projected) move.
+			var gdx float64
+			for i := range xNew {
+				gdx += g[i] * (xNew[i] - x[i])
+			}
+			if fNew <= fx+cfg.ArmijoC*gdx && gdx < 0 {
+				accepted = true
+				break
+			}
+			if fNew < fx && gdx >= 0 {
+				// Projection killed the model decrease but we still improved.
+				accepted = true
+				break
+			}
+			step *= 0.5
+		}
+		res.Evals = evals
+		if !accepted {
+			res.StopReason = "line search failed"
+			break
+		}
+
+		// Curvature update.
+		s := make([]float64, n)
+		yv := make([]float64, n)
+		for i := range s {
+			s[i] = xNew[i] - x[i]
+			yv[i] = gNew[i] - g[i]
+		}
+		sy := mat.Dot(s, yv)
+		if sy > 1e-10*mat.Norm2(s)*mat.Norm2(yv) {
+			if len(pairs) == cfg.Memory {
+				pairs = pairs[1:]
+			}
+			pairs = append(pairs, pair{s: s, y: yv, rho: 1 / sy})
+		}
+
+		fPrev := fx
+		copy(x, xNew)
+		copy(g, gNew)
+		fx = fNew
+		res.X, res.F = x, fx
+		if math.Abs(fPrev-fx) <= cfg.FTol*(math.Abs(fx)+math.Abs(fPrev)+1e-12) {
+			res.Converged = true
+			res.StopReason = "objective decrease below tolerance"
+			break
+		}
+	}
+	if res.StopReason == "" {
+		res.StopReason = "iteration limit"
+	}
+	res.X = mat.CloneVec(x)
+	res.F = fx
+	return res
+}
+
+// NumGrad wraps a plain objective into a GradObjective using central finite
+// differences with step h (default 1e-6 when h <= 0). It is the fallback
+// for objectives without analytic gradients, e.g. Monte-Carlo q-EI.
+func NumGrad(f Objective, h float64) GradObjective {
+	if h <= 0 {
+		h = 1e-6
+	}
+	return func(x, grad []float64) float64 {
+		fx := f(x)
+		xh := mat.CloneVec(x)
+		for i := range x {
+			xh[i] = x[i] + h
+			up := f(xh)
+			xh[i] = x[i] - h
+			dn := f(xh)
+			xh[i] = x[i]
+			grad[i] = (up - dn) / (2 * h)
+		}
+		return fx
+	}
+}

@@ -1,0 +1,191 @@
+package optim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// quadratic builds a separable convex quadratic with minimum at c.
+func quadratic(c []float64) GradObjective {
+	return func(x, g []float64) float64 {
+		var f float64
+		for i := range x {
+			d := x[i] - c[i]
+			f += d * d
+			g[i] = 2 * d
+		}
+		return f
+	}
+}
+
+// rosenbrockGrad is the 2-D Rosenbrock function with analytic gradient.
+func rosenbrockGrad(x, g []float64) float64 {
+	a, b := x[0], x[1]
+	f := 100*(b-a*a)*(b-a*a) + (1-a)*(1-a)
+	g[0] = -400*a*(b-a*a) - 2*(1-a)
+	g[1] = 200 * (b - a*a)
+	return f
+}
+
+func boxOf(n int, lo, hi float64) ([]float64, []float64) {
+	l := make([]float64, n)
+	h := make([]float64, n)
+	for i := range l {
+		l[i], h[i] = lo, hi
+	}
+	return l, h
+}
+
+func TestLBFGSBQuadraticInterior(t *testing.T) {
+	lo, hi := boxOf(5, -10, 10)
+	c := []float64{1, -2, 3, 0.5, -0.5}
+	opt := &LBFGSB{MaxIter: 200}
+	res := opt.Minimize(quadratic(c), []float64{5, 5, 5, 5, 5}, lo, hi)
+	if !res.Converged {
+		t.Fatalf("did not converge: %s", res.StopReason)
+	}
+	for i := range c {
+		if math.Abs(res.X[i]-c[i]) > 1e-5 {
+			t.Fatalf("x[%d] = %v, want %v", i, res.X[i], c[i])
+		}
+	}
+}
+
+func TestLBFGSBActiveBound(t *testing.T) {
+	// Unconstrained minimum at 5 but box caps at 2: solution must sit at
+	// the bound.
+	lo, hi := boxOf(3, -2, 2)
+	res := (&LBFGSB{}).Minimize(quadratic([]float64{5, 0, -5}), []float64{0, 0, 0}, lo, hi)
+	if math.Abs(res.X[0]-2) > 1e-8 || math.Abs(res.X[2]+2) > 1e-8 {
+		t.Fatalf("bound not active: %v", res.X)
+	}
+	if math.Abs(res.X[1]) > 1e-5 {
+		t.Fatalf("interior coordinate wrong: %v", res.X[1])
+	}
+}
+
+func TestLBFGSBRosenbrock(t *testing.T) {
+	lo, hi := boxOf(2, -5, 10)
+	res := (&LBFGSB{MaxIter: 500}).Minimize(rosenbrockGrad, []float64{-1.2, 1}, lo, hi)
+	if math.Abs(res.X[0]-1) > 1e-3 || math.Abs(res.X[1]-1) > 1e-3 {
+		t.Fatalf("rosenbrock solution %v (f=%v, %s)", res.X, res.F, res.StopReason)
+	}
+}
+
+func TestLBFGSBStartOutsideBoxClamped(t *testing.T) {
+	lo, hi := boxOf(2, 0, 1)
+	res := (&LBFGSB{}).Minimize(quadratic([]float64{0.5, 0.5}), []float64{100, -100}, lo, hi)
+	if math.Abs(res.X[0]-0.5) > 1e-5 || math.Abs(res.X[1]-0.5) > 1e-5 {
+		t.Fatalf("solution %v", res.X)
+	}
+}
+
+func TestLBFGSBDegenerateBox(t *testing.T) {
+	// lo == hi pins the variable.
+	lo := []float64{1, -3}
+	hi := []float64{1, 3}
+	res := (&LBFGSB{}).Minimize(quadratic([]float64{5, 2}), []float64{0, 0}, lo, hi)
+	if res.X[0] != 1 {
+		t.Fatalf("pinned coordinate moved: %v", res.X)
+	}
+	if math.Abs(res.X[1]-2) > 1e-5 {
+		t.Fatalf("free coordinate wrong: %v", res.X)
+	}
+}
+
+func TestLBFGSBInvalidBoundsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for inverted bounds")
+		}
+	}()
+	(&LBFGSB{}).Minimize(quadratic([]float64{0}), []float64{0}, []float64{1}, []float64{-1})
+}
+
+func TestNumGradMatchesAnalytic(t *testing.T) {
+	f := func(x []float64) float64 {
+		return math.Sin(x[0])*math.Cos(x[1]) + x[0]*x[0]
+	}
+	ng := NumGrad(f, 1e-6)
+	x := []float64{0.7, -0.3}
+	g := make([]float64, 2)
+	ng(x, g)
+	wantG0 := math.Cos(0.7)*math.Cos(-0.3) + 2*0.7
+	wantG1 := math.Sin(0.7) * math.Sin(0.3) // ∂/∂x₁ sin(x₀)cos(x₁) at x₁=−0.3
+	if math.Abs(g[0]-wantG0) > 1e-6 || math.Abs(g[1]-wantG1) > 1e-6 {
+		t.Fatalf("numgrad = %v, want [%v %v]", g, wantG0, wantG1)
+	}
+}
+
+func TestLBFGSBWithNumGrad(t *testing.T) {
+	lo, hi := boxOf(3, -4, 4)
+	f := func(x []float64) float64 {
+		var s float64
+		for i, v := range x {
+			s += (v - float64(i)) * (v - float64(i))
+		}
+		return s
+	}
+	res := (&LBFGSB{}).Minimize(NumGrad(f, 0), []float64{3, 3, 3}, lo, hi)
+	for i := range res.X {
+		if math.Abs(res.X[i]-float64(i)) > 1e-4 {
+			t.Fatalf("x = %v", res.X)
+		}
+	}
+}
+
+func TestMultiStartFindsGlobal(t *testing.T) {
+	// Double-well in 1-D: minima near -1 (f=-1) and +1.2 (deeper).
+	f := func(x, g []float64) float64 {
+		v := x[0]
+		fv := v*v*v*v - v*v - 0.3*v
+		g[0] = 4*v*v*v - 2*v - 0.3
+		return fv
+	}
+	lo, hi := []float64{-2}, []float64{2}
+	stream := rng.New(1, 1)
+	ms := &MultiStart{Local: &LBFGSB{MaxIter: 200}}
+	starts := DefaultStarts(8, nil, lo, hi, stream)
+	res := ms.Run(f, starts, lo, hi)
+	if res.X[0] < 0.5 {
+		t.Fatalf("multistart missed global minimum: %v", res.X)
+	}
+}
+
+func TestMultiStartParallelMatchesSerial(t *testing.T) {
+	lo, hi := boxOf(4, -3, 3)
+	c := []float64{1, 1, -1, -1}
+	starts := DefaultStarts(6, [][]float64{{0, 0, 0, 0}}, lo, hi, rng.New(2, 2))
+	serial := (&MultiStart{Local: &LBFGSB{}}).Run(quadratic(c), starts, lo, hi)
+	par := (&MultiStart{Local: &LBFGSB{}, Parallel: true}).Run(quadratic(c), starts, lo, hi)
+	if math.Abs(serial.F-par.F) > 1e-12 {
+		t.Fatalf("parallel result differs: %v vs %v", serial.F, par.F)
+	}
+}
+
+func TestMultiStartNoStartsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic with zero starts")
+		}
+	}()
+	(&MultiStart{Local: &LBFGSB{}}).Run(quadratic([]float64{0}), nil, []float64{0}, []float64{1})
+}
+
+func TestDefaultStartsWithinBox(t *testing.T) {
+	lo, hi := boxOf(3, -1, 1)
+	anchor := []float64{0.999, -0.999, 0}
+	starts := DefaultStarts(10, [][]float64{anchor}, lo, hi, rng.New(3, 3))
+	if len(starts) != 11 {
+		t.Fatalf("got %d starts", len(starts))
+	}
+	for _, s := range starts {
+		for j := range s {
+			if s[j] < lo[j] || s[j] > hi[j] {
+				t.Fatalf("start out of box: %v", s)
+			}
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package optim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/mat"
+	"repro/internal/rng"
+)
+
+// MultiStart runs a local optimizer from several starting points and returns
+// the best result. Starts are run concurrently when Parallel is true; the
+// winner is selected deterministically (value, then start index).
+type MultiStart struct {
+	// Local is the local optimizer (required).
+	Local *LBFGSB
+	// Parallel enables concurrent local runs across CPU cores.
+	Parallel bool
+}
+
+// Run minimizes f from the given starting points within the box [lo, hi].
+func (m *MultiStart) Run(f GradObjective, starts [][]float64, lo, hi []float64) Result {
+	if len(starts) == 0 {
+		panic("optim: MultiStart requires at least one starting point")
+	}
+	if m.Local == nil {
+		panic("optim: MultiStart requires a local optimizer")
+	}
+	results := make([]Result, len(starts))
+	if m.Parallel && len(starts) > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+		for i, s := range starts {
+			wg.Add(1)
+			go func(i int, s []float64) {
+				defer wg.Done()
+				sem <- struct{}{}
+				defer func() { <-sem }()
+				results[i] = m.Local.Minimize(f, s, lo, hi)
+			}(i, s)
+		}
+		wg.Wait()
+	} else {
+		for i, s := range starts {
+			results[i] = m.Local.Minimize(f, s, lo, hi)
+		}
+	}
+	best := results[0]
+	evals, iters := 0, 0
+	for _, r := range results {
+		evals += r.Evals
+		iters += r.Iters
+		if r.F < best.F {
+			best = r
+		}
+	}
+	best.Evals = evals
+	best.Iters = iters
+	return best
+}
+
+// DefaultStarts builds a standard multi-start set: nSobol quasi-random
+// points in the box plus small Gaussian perturbations of the provided
+// anchors (e.g. the incumbent best or the best observed points), clamped to
+// the box.
+func DefaultStarts(nSobol int, anchors [][]float64, lo, hi []float64, stream *rng.Stream) [][]float64 {
+	if nSobol < 0 {
+		panic(fmt.Sprintf("optim: negative Sobol start count %d", nSobol))
+	}
+	starts := rng.SobolDesign(nSobol, lo, hi, stream)
+	for _, a := range anchors {
+		p := mat.CloneVec(a)
+		for j := range p {
+			p[j] += 0.05 * (hi[j] - lo[j]) * stream.Norm()
+		}
+		clampToBox(p, lo, hi)
+		starts = append(starts, p)
+	}
+	return starts
+}

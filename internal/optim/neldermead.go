@@ -1,0 +1,132 @@
+package optim
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/mat"
+)
+
+// NelderMead is a derivative-free simplex minimizer with box-constraint
+// handling by clamping. It is used where gradients are unavailable or
+// untrusted (e.g. sanity-check refinement of acquisition optima).
+type NelderMead struct {
+	// MaxIter bounds iterations (default 200·d).
+	MaxIter int
+	// FTol stops when the simplex value spread falls below it (default 1e-10).
+	FTol float64
+	// InitScale sets the initial simplex edge length as a fraction of the
+	// box width (default 0.1).
+	InitScale float64
+}
+
+// Minimize runs the simplex method from x0 within [lo, hi].
+func (o *NelderMead) Minimize(f Objective, x0, lo, hi []float64) Result {
+	n := len(x0)
+	maxIter := o.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * n
+	}
+	ftol := o.FTol
+	if ftol <= 0 {
+		ftol = 1e-10
+	}
+	scale := o.InitScale
+	if scale <= 0 {
+		scale = 0.1
+	}
+
+	const (
+		alpha = 1.0 // reflection
+		gamma = 2.0 // expansion
+		rho   = 0.5 // contraction
+		sigma = 0.5 // shrink
+	)
+
+	type vertex struct {
+		x []float64
+		f float64
+	}
+	evals := 0
+	eval := func(x []float64) float64 {
+		clampToBox(x, lo, hi)
+		evals++
+		return f(x)
+	}
+
+	simplex := make([]vertex, n+1)
+	base := mat.CloneVec(x0)
+	clampToBox(base, lo, hi)
+	simplex[0] = vertex{x: base, f: eval(mat.CloneVec(base))}
+	for i := 0; i < n; i++ {
+		p := mat.CloneVec(base)
+		step := scale * (hi[i] - lo[i])
+		if p[i]+step > hi[i] {
+			step = -step
+		}
+		p[i] += step
+		simplex[i+1] = vertex{x: p, f: eval(mat.CloneVec(p))}
+	}
+
+	centroid := make([]float64, n)
+	iters := 0
+	for ; iters < maxIter; iters++ {
+		sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+		if math.Abs(simplex[n].f-simplex[0].f) <= ftol*(math.Abs(simplex[0].f)+math.Abs(simplex[n].f)+1e-300) {
+			break
+		}
+		// Centroid of all but the worst vertex.
+		for j := range centroid {
+			centroid[j] = 0
+		}
+		for i := 0; i < n; i++ {
+			mat.AxpyVec(1.0/float64(n), simplex[i].x, centroid)
+		}
+		worst := simplex[n]
+
+		reflect := make([]float64, n)
+		for j := range reflect {
+			reflect[j] = centroid[j] + alpha*(centroid[j]-worst.x[j])
+		}
+		fr := eval(reflect)
+		switch {
+		case fr < simplex[0].f:
+			expand := make([]float64, n)
+			for j := range expand {
+				expand[j] = centroid[j] + gamma*(reflect[j]-centroid[j])
+			}
+			if fe := eval(expand); fe < fr {
+				simplex[n] = vertex{x: expand, f: fe}
+			} else {
+				simplex[n] = vertex{x: reflect, f: fr}
+			}
+		case fr < simplex[n-1].f:
+			simplex[n] = vertex{x: reflect, f: fr}
+		default:
+			contract := make([]float64, n)
+			for j := range contract {
+				contract[j] = centroid[j] + rho*(worst.x[j]-centroid[j])
+			}
+			if fc := eval(contract); fc < worst.f {
+				simplex[n] = vertex{x: contract, f: fc}
+			} else {
+				// Shrink toward the best vertex.
+				for i := 1; i <= n; i++ {
+					for j := range simplex[i].x {
+						simplex[i].x[j] = simplex[0].x[j] + sigma*(simplex[i].x[j]-simplex[0].x[j])
+					}
+					simplex[i].f = eval(mat.CloneVec(simplex[i].x))
+				}
+			}
+		}
+	}
+	sort.Slice(simplex, func(a, b int) bool { return simplex[a].f < simplex[b].f })
+	return Result{
+		X:          mat.CloneVec(simplex[0].x),
+		F:          simplex[0].f,
+		Iters:      iters,
+		Evals:      evals,
+		Converged:  iters < maxIter,
+		StopReason: map[bool]string{true: "simplex collapsed", false: "iteration limit"}[iters < maxIter],
+	}
+}

@@ -1,0 +1,101 @@
+package parallel
+
+import (
+	"testing"
+	"time"
+)
+
+func sum(x []float64) float64 {
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+func TestEvalBatchValuesAligned(t *testing.T) {
+	ev := FixedCost(sum, time.Second)
+	p := &Pool{}
+	xs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+	br := p.EvalBatch(ev, xs)
+	want := []float64{3, 7, 11}
+	for i := range want {
+		if br.Y[i] != want[i] {
+			t.Fatalf("Y = %v, want %v", br.Y, want)
+		}
+	}
+}
+
+func TestEvalBatchVirtualIsMax(t *testing.T) {
+	// Cost keyed by the point's first coordinate: the batch's virtual
+	// duration is the maximum member cost.
+	ev := EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+		return x[0], time.Duration(x[0]) * time.Second
+	})
+	p := &Pool{}
+	br := p.EvalBatch(ev, [][]float64{{2}, {5}, {1}})
+	if br.Virtual != 5*time.Second {
+		t.Fatalf("virtual = %v, want 5s", br.Virtual)
+	}
+}
+
+func TestEvalBatchOverheadAdded(t *testing.T) {
+	ev := FixedCost(sum, time.Second)
+	p := &Pool{Overhead: LinearOverhead(100*time.Millisecond, 50*time.Millisecond)}
+	br := p.EvalBatch(ev, [][]float64{{1}, {2}, {3}, {4}})
+	want := time.Second + 100*time.Millisecond + 4*50*time.Millisecond
+	if br.Virtual != want {
+		t.Fatalf("virtual = %v, want %v", br.Virtual, want)
+	}
+}
+
+func TestEvalBatchLimitedWorkersWavePacking(t *testing.T) {
+	ev := FixedCost(sum, 10*time.Second)
+	p := &Pool{Workers: 2}
+	br := p.EvalBatch(ev, [][]float64{{1}, {2}, {3}, {4}, {5}})
+	// 5 evals on 2 workers: 3 waves of 10s.
+	if br.Virtual != 30*time.Second {
+		t.Fatalf("virtual = %v, want 30s", br.Virtual)
+	}
+}
+
+func TestEvalBatchEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for empty batch")
+		}
+	}()
+	(&Pool{}).EvalBatch(FixedCost(sum, 0), nil)
+}
+
+func TestEvalBatchActuallyConcurrent(t *testing.T) {
+	// Real sleep of 30ms × 8 members must complete in well under the
+	// serial 240ms when run concurrently.
+	ev := EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+		time.Sleep(30 * time.Millisecond)
+		return 0, 0
+	})
+	p := &Pool{}
+	start := time.Now()
+	p.EvalBatch(ev, make([][]float64, 8))
+	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
+		t.Fatalf("batch took %v, expected concurrent execution", elapsed)
+	}
+}
+
+func TestCountingEvaluator(t *testing.T) {
+	ce := NewCounting(FixedCost(sum, 0))
+	p := &Pool{}
+	p.EvalBatch(ce, [][]float64{{1}, {2}})
+	p.EvalBatch(ce, [][]float64{{3}})
+	if ce.Count() != 3 {
+		t.Fatalf("count = %d", ce.Count())
+	}
+}
+
+func TestLinearOverhead(t *testing.T) {
+	f := LinearOverhead(time.Second, 100*time.Millisecond)
+	if f(4) != time.Second+400*time.Millisecond {
+		t.Fatalf("overhead(4) = %v", f(4))
+	}
+}

@@ -1,0 +1,56 @@
+package rng
+
+import "fmt"
+
+// LatinHypercube returns an n×d Latin Hypercube design in [0,1)^d: each of
+// the d one-dimensional projections hits every one of the n equal-width
+// strata exactly once, with the within-stratum position jittered uniformly.
+func LatinHypercube(n, d int, stream *Stream) [][]float64 {
+	if n < 1 || d < 1 {
+		panic(fmt.Sprintf("rng: LHS size %d×%d", n, d))
+	}
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = make([]float64, d)
+	}
+	for j := 0; j < d; j++ {
+		perm := stream.Perm(n)
+		for i := 0; i < n; i++ {
+			out[i][j] = (float64(perm[i]) + stream.Float64()) / float64(n)
+		}
+	}
+	return out
+}
+
+// ScaleToBounds maps unit-cube points into the box [lo, hi] in place and
+// returns them.
+func ScaleToBounds(pts [][]float64, lo, hi []float64) [][]float64 {
+	if len(lo) != len(hi) {
+		panic(fmt.Sprintf("rng: bounds length mismatch %d != %d", len(lo), len(hi)))
+	}
+	for _, p := range pts {
+		if len(p) != len(lo) {
+			panic(fmt.Sprintf("rng: point dim %d != bounds dim %d", len(p), len(lo)))
+		}
+		for j := range p {
+			p[j] = lo[j] + p[j]*(hi[j]-lo[j])
+		}
+	}
+	return pts
+}
+
+// SobolDesign returns an n×d design in the box [lo, hi] built from a
+// digitally shifted Sobol sequence.
+func SobolDesign(n int, lo, hi []float64, stream *Stream) [][]float64 {
+	s := NewScrambledSobol(len(lo), stream)
+	return ScaleToBounds(s.Sample(n), lo, hi)
+}
+
+// UniformDesign returns an n×d design of i.i.d. uniform points in [lo, hi].
+func UniformDesign(n int, lo, hi []float64, stream *Stream) [][]float64 {
+	out := make([][]float64, n)
+	for i := range out {
+		out[i] = stream.UniformVec(lo, hi)
+	}
+	return out
+}

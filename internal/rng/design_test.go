@@ -1,0 +1,113 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLatinHypercubeStratification(t *testing.T) {
+	const n, d = 20, 5
+	pts := LatinHypercube(n, d, New(1, 1))
+	if len(pts) != n {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for j := 0; j < d; j++ {
+		seen := make([]bool, n)
+		for i := 0; i < n; i++ {
+			v := pts[i][j]
+			if v < 0 || v >= 1 {
+				t.Fatalf("point out of unit cube: %v", v)
+			}
+			stratum := int(v * n)
+			if seen[stratum] {
+				t.Fatalf("dim %d: stratum %d occupied twice", j, stratum)
+			}
+			seen[stratum] = true
+		}
+	}
+}
+
+func TestLatinHypercubeDeterminism(t *testing.T) {
+	a := LatinHypercube(8, 3, New(4, 4))
+	b := LatinHypercube(8, 3, New(4, 4))
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("LHS not deterministic")
+			}
+		}
+	}
+}
+
+func TestLatinHypercubeBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n=0")
+		}
+	}()
+	LatinHypercube(0, 2, New(1, 1))
+}
+
+func TestScaleToBounds(t *testing.T) {
+	pts := [][]float64{{0, 0.5}, {1, 0.25}}
+	lo := []float64{-2, 10}
+	hi := []float64{2, 20}
+	ScaleToBounds(pts, lo, hi)
+	if pts[0][0] != -2 || pts[0][1] != 15 || pts[1][0] != 2 || pts[1][1] != 12.5 {
+		t.Fatalf("scaled = %v", pts)
+	}
+}
+
+func TestSobolDesignInBounds(t *testing.T) {
+	lo := []float64{-5, -5, -5}
+	hi := []float64{10, 10, 10}
+	pts := SobolDesign(100, lo, hi, New(3, 3))
+	for _, p := range pts {
+		for j := range p {
+			if p[j] < lo[j] || p[j] > hi[j] {
+				t.Fatalf("point out of bounds: %v", p)
+			}
+		}
+	}
+}
+
+func TestUniformDesignInBounds(t *testing.T) {
+	lo := []float64{0, -1}
+	hi := []float64{1, 1}
+	pts := UniformDesign(50, lo, hi, New(6, 6))
+	if len(pts) != 50 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		for j := range p {
+			if p[j] < lo[j] || p[j] >= hi[j] {
+				t.Fatalf("point out of bounds: %v", p)
+			}
+		}
+	}
+}
+
+// Property: every LHS projection covers all strata, for random sizes.
+func TestLatinHypercubeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		s := New(seed, 0)
+		n := 2 + int(seed%30)
+		d := 1 + int(seed%7)
+		pts := LatinHypercube(n, d, s)
+		for j := 0; j < d; j++ {
+			seen := make([]bool, n)
+			for i := 0; i < n; i++ {
+				seen[int(pts[i][j]*float64(n))] = true
+			}
+			for _, ok := range seen {
+				if !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+package strategy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func TestExtendedRegistry(t *testing.T) {
+	for _, name := range ExtendedNames {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Name() != name {
+			t.Fatalf("ByName(%s).Name() = %s", name, s.Name())
+		}
+	}
+}
+
+func TestExtendedStrategiesProposeValidBatches(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 16)
+	for _, name := range ExtendedNames {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Reset()
+		batch, err := s.Propose(m, st, 3, rng.New(31, 31))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		inBounds(t, p, batch, 3)
+	}
+}
+
+func TestTSRFFBatchDiversity(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 12) // few points: posterior wide, paths differ
+	s := NewTSRFF()
+	batch, err := s.Propose(m, st, 4, rng.New(32, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := 0
+	for i := range batch {
+		unique := true
+		for j := 0; j < i; j++ {
+			if math.Hypot(batch[i][0]-batch[j][0], batch[i][1]-batch[j][1]) < 1e-6 {
+				unique = false
+			}
+		}
+		if unique {
+			distinct++
+		}
+	}
+	if distinct < 3 {
+		t.Fatalf("TS-RFF produced only %d distinct candidates", distinct)
+	}
+}
+
+func TestLocalPenalizationSpreadsBatch(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 20)
+	s := NewLocalPenalization()
+	batch, err := s.Propose(m, st, 3, rng.New(33, 33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairwise separation: the penalizers must push members apart.
+	for i := range batch {
+		for j := 0; j < i; j++ {
+			if math.Hypot(batch[i][0]-batch[j][0], batch[i][1]-batch[j][1]) < 1e-4 {
+				t.Fatalf("LP batch members %d and %d collapsed: %v vs %v", i, j, batch[i], batch[j])
+			}
+		}
+	}
+}
+
+func TestLocalPenalizationLipschitzPositive(t *testing.T) {
+	p := sphereProblem()
+	m, _ := fitState(t, p, 20)
+	s := NewLocalPenalization()
+	l := s.estimateLipschitz(m, p.Lo, p.Hi, rng.New(34, 34))
+	if l <= 0 || math.IsNaN(l) {
+		t.Fatalf("lipschitz estimate %v", l)
+	}
+}
+
+func TestBNNGABatchDistinct(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 24)
+	s := NewBNNGA()
+	s.Net.Epochs = 30 // keep the test fast
+	batch, err := s.Propose(m, st, 4, rng.New(35, 35))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inBounds(t, p, batch, 4)
+	for i := range batch {
+		for j := 0; j < i; j++ {
+			d := math.Hypot(batch[i][0]-batch[j][0], batch[i][1]-batch[j][1])
+			if d < 1e-6 {
+				t.Fatalf("BNN-GA batch members identical")
+			}
+		}
+	}
+}
+
+func TestExtendedStrategiesEndToEnd(t *testing.T) {
+	// Each extended strategy must drive the engine on the sphere.
+	for _, name := range ExtendedNames {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b, ok := s.(*BNNGA); ok {
+			b.Net.Epochs = 25
+			b.Net.Members = 3
+		}
+		p := sphereProblem()
+		e := &core.Engine{
+			Problem:        p,
+			Strategy:       s,
+			BatchSize:      2,
+			InitSamples:    8,
+			Budget:         60 * time.Second,
+			OverheadFactor: 1,
+			Model:          core.ModelConfig{Restarts: 1, MaxIter: 10, FitSubsetMax: 48},
+			Seed:           36,
+		}
+		res, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.BestY > 3 {
+			t.Fatalf("%s: final best %v too poor", name, res.BestY)
+		}
+	}
+}
+
+func TestExtendedAPParallelism(t *testing.T) {
+	if NewTSRFF().APParallelism(4) != 4 {
+		t.Fatal("TS-RFF parallelism should equal q")
+	}
+	if NewLocalPenalization().APParallelism(4) != 1 {
+		t.Fatal("LP is sequential")
+	}
+	if NewBNNGA().APParallelism(4) != 5 {
+		t.Fatal("BNN-GA parallelism should equal ensemble size")
+	}
+}

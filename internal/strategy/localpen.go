@@ -1,0 +1,127 @@
+package strategy
+
+import (
+	"math"
+
+	"repro/internal/acq"
+	"repro/internal/core"
+	"repro/internal/gp"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+// LocalPenalization is the batch AP of González et al. (2016), one of the
+// single-point-criterion batching families the paper surveys: candidates
+// are selected sequentially by maximizing EI multiplied by local penalizer
+// functions centered on the already-selected batch members. Each penalizer
+// φ(x; x_j) is the probability — under a Lipschitz assumption on f with
+// estimated constant L — that x lies outside the exclusion ball of x_j, so
+// the batch spreads out without any model update between selections
+// (cheaper than Kriging Believer: no O(n²) fantasy refits).
+type LocalPenalization struct {
+	// Opt configures each penalized-EI optimization.
+	Opt AFOpt
+	// LipschitzSamples is the number of posterior-gradient probes used to
+	// estimate the Lipschitz constant (default 64).
+	LipschitzSamples int
+}
+
+// NewLocalPenalization returns the default configuration.
+func NewLocalPenalization() *LocalPenalization {
+	return &LocalPenalization{Opt: AFOpt{Starts: 4, MaxIter: 40}, LipschitzSamples: 64}
+}
+
+// Name implements core.Strategy.
+func (s *LocalPenalization) Name() string { return "LP-EGO" }
+
+// Reset implements core.Strategy (stateless).
+func (s *LocalPenalization) Reset() {}
+
+// Observe implements core.Strategy (stateless).
+func (s *LocalPenalization) Observe(*core.State, [][]float64, []float64) {}
+
+// APParallelism implements core.Strategy: selection is sequential.
+func (s *LocalPenalization) APParallelism(int) int { return 1 }
+
+// estimateLipschitz probes the posterior-mean gradient at Sobol points and
+// returns the largest norm found (the usual plug-in estimate of L).
+func (s *LocalPenalization) estimateLipschitz(model *gp.GP, lo, hi []float64, stream *rng.Stream) float64 {
+	n := s.LipschitzSamples
+	if n <= 0 {
+		n = 64
+	}
+	pts := rng.SobolDesign(n, lo, hi, stream)
+	best := 1e-8
+	for _, x := range pts {
+		_, _, dMu, _ := model.PredictWithGrad(x)
+		// Norm in normalized coordinates so dimensions are comparable.
+		var sum float64
+		for j, g := range dMu {
+			gn := g * (hi[j] - lo[j])
+			sum += gn * gn
+		}
+		if l := math.Sqrt(sum); l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// Propose implements core.Strategy.
+func (s *LocalPenalization) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+	p := st.Problem
+	lip := s.estimateLipschitz(model, p.Lo, p.Hi, stream.Split(0))
+
+	// The exclusion-radius reference value: the believed optimum M. For
+	// minimization M = best observed (smaller f means bigger exclusion
+	// balls around good points).
+	mBest := st.BestY
+
+	batch := make([][]float64, 0, q)
+	ei := &acq.EI{Best: st.BestY, Minimize: p.Minimize}
+
+	// normDist returns the distance between raw-space points in
+	// normalized coordinates (matching the Lipschitz estimate).
+	normDist := func(a, b []float64) float64 {
+		var sum float64
+		for j := range a {
+			d := (a[j] - b[j]) / (p.Hi[j] - p.Lo[j])
+			sum += d * d
+		}
+		return math.Sqrt(sum)
+	}
+
+	// penalizedNegEI is −log(EI·Πφ) for robust optimization; gradients via
+	// finite differences (the penalizer product has no cheap gradient).
+	penalizedNegEI := func(x []float64) float64 {
+		v := ei.Eval(model, x)
+		if v <= 0 {
+			v = 1e-300
+		}
+		logv := math.Log(v)
+		for _, xj := range batch {
+			mu, sd := model.Predict(xj)
+			if sd < 1e-9 {
+				sd = 1e-9
+			}
+			// z = (L·‖x−x_j‖ − |μ(x_j) − M|) / (σ(x_j)·√2)
+			gap := math.Abs(mu - mBest)
+			z := (lip*normDist(x, xj) - gap) / (sd * math.Sqrt2)
+			phi := rng.NormCDF(z)
+			if phi < 1e-300 {
+				phi = 1e-300
+			}
+			logv += math.Log(phi)
+		}
+		return -logv
+	}
+
+	for i := 0; i < q; i++ {
+		sub := stream.Split(uint64(i + 1))
+		starts := optim.DefaultStarts(s.Opt.defaults().Starts, incumbent(st), p.Lo, p.Hi, sub)
+		ms := &optim.MultiStart{Local: &optim.LBFGSB{MaxIter: s.Opt.defaults().MaxIter, GTol: 1e-8}}
+		res := ms.Run(optim.NumGrad(penalizedNegEI, 1e-7), starts, p.Lo, p.Hi)
+		batch = append(batch, res.X)
+	}
+	return batch, nil
+}

@@ -1,0 +1,72 @@
+package strategy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Names of the five paper strategies, in the paper's presentation order.
+var Names = []string{"KB-q-EGO", "mic-q-EGO", "MC-based q-EGO", "BSP-EGO", "TuRBO"}
+
+// ByName constructs a fresh strategy from its paper name.
+func ByName(name string) (core.Strategy, error) {
+	switch name {
+	case "KB-q-EGO", "kb-q-ego", "kb":
+		return NewKBQEGO(), nil
+	case "mic-q-EGO", "mic-q-ego", "mic":
+		return NewMICQEGO(), nil
+	case "MC-based q-EGO", "mc-q-ego", "mc":
+		return NewMCQEGO(), nil
+	case "BSP-EGO", "bsp-ego", "bsp":
+		return NewBSPEGO(), nil
+	case "TuRBO", "turbo":
+		return NewTuRBO(), nil
+	case "TS-RFF", "ts-rff", "ts":
+		return NewTSRFF(), nil
+	case "LP-EGO", "lp-ego", "lp":
+		return NewLocalPenalization(), nil
+	case "BNN-GA", "bnn-ga", "bnn":
+		return NewBNNGA(), nil
+	}
+	return nil, fmt.Errorf("strategy: unknown strategy %q", name)
+}
+
+// ExtendedNames lists the additional batch APs implemented beyond the
+// paper's five: Thompson sampling over random-Fourier-feature sample paths,
+// Local Penalization (González et al., surveyed by the paper), and the
+// Bayesian-neural-network-assisted GA of the authors' companion study
+// (Briffoteaux et al. 2020, the paper's reference [8]).
+var ExtendedNames = []string{"TS-RFF", "LP-EGO", "BNN-GA"}
+
+// All returns fresh instances of the five strategies under comparison.
+func All() []core.Strategy {
+	out := make([]core.Strategy, len(Names))
+	for i, n := range Names {
+		s, err := ByName(n)
+		if err != nil {
+			panic(err) // unreachable: Names are known
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// AcquisitionFor reports the acquisition function a strategy uses at a
+// given batch size, reproducing the paper's Table 3.
+func AcquisitionFor(name string, q int) string {
+	switch name {
+	case "TuRBO", "MC-based q-EGO":
+		if q == 1 {
+			return "EI"
+		}
+		return "qEI"
+	case "mic-q-EGO":
+		if q == 1 {
+			return "EI"
+		}
+		return "EI/UCB (50%)"
+	default: // KB-q-EGO, BSP-EGO
+		return "EI"
+	}
+}

@@ -1,0 +1,74 @@
+// Package strategy implements the five batch acquisition processes the
+// paper compares: KB-q-EGO (Kriging Believer), mic-q-EGO (multi-infill
+// criteria), MC-based q-EGO (Monte-Carlo joint q-EI), BSP-EGO (binary
+// space partitioning with parallel per-leaf acquisition) and TuRBO-1
+// (trust region BO). Each satisfies core.Strategy and is purely a
+// candidate-selection policy: model fitting, evaluation and time
+// accounting live in the engine.
+package strategy
+
+import (
+	"repro/internal/acq"
+	"repro/internal/core"
+	"repro/internal/gp"
+	"repro/internal/mat"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+// AFOpt bundles the shared knobs of single-point acquisition optimization
+// ("inner optimization"): multi-start bounded L-BFGS, as BoTorch's
+// optimize_acqf does with L-BFGS-B.
+type AFOpt struct {
+	// Starts is the number of Sobol restarts (default 8).
+	Starts int
+	// MaxIter bounds L-BFGS iterations per start (default 60).
+	MaxIter int
+	// Parallel runs restarts concurrently (default true via
+	// DefaultAFOpt).
+	Parallel bool
+}
+
+// DefaultAFOpt returns the standard inner-optimization configuration.
+func DefaultAFOpt() AFOpt { return AFOpt{Starts: 4, MaxIter: 40, Parallel: true} }
+
+func (o AFOpt) defaults() AFOpt {
+	d := o
+	if d.Starts <= 0 {
+		d.Starts = 8
+	}
+	if d.MaxIter <= 0 {
+		d.MaxIter = 60
+	}
+	return d
+}
+
+// Maximize finds argmax of the acquisition function over [lo, hi] using
+// multi-start L-BFGS with the model's gradient information. Anchors (e.g.
+// the incumbent) seed additional perturbed starts.
+func (o AFOpt) Maximize(m *gp.GP, af acq.Acquisition, lo, hi []float64, anchors [][]float64, stream *rng.Stream) ([]float64, float64) {
+	cfg := o.defaults()
+	obj := func(x, grad []float64) float64 {
+		v := af.EvalWithGrad(m, x, grad)
+		for i := range grad {
+			grad[i] = -grad[i]
+		}
+		return -v
+	}
+	starts := optim.DefaultStarts(cfg.Starts, anchors, lo, hi, stream)
+	ms := &optim.MultiStart{
+		Local:    &optim.LBFGSB{MaxIter: cfg.MaxIter, GTol: 1e-7},
+		Parallel: cfg.Parallel,
+	}
+	res := ms.Run(obj, starts, lo, hi)
+	return res.X, -res.F
+}
+
+// incumbent returns the anchor list used to seed acquisition starts: the
+// best observed point of the run.
+func incumbent(st *core.State) [][]float64 {
+	if st.BestX == nil {
+		return nil
+	}
+	return [][]float64{mat.CloneVec(st.BestX)}
+}

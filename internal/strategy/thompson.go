@@ -1,0 +1,80 @@
+package strategy
+
+import (
+	"repro/internal/core"
+	"repro/internal/gp"
+	"repro/internal/optim"
+	"repro/internal/rng"
+)
+
+// TSRFF is a Thompson-sampling batch acquisition process over random
+// Fourier feature sample paths: each of the q batch members is the
+// minimizer (maximizer) of an independent analytic posterior sample drawn
+// from an RFF approximation of the GP, found with gradient-based
+// multi-start L-BFGS (the sample paths are differentiable in closed form).
+// Batch diversity comes for free from the posterior randomness — no
+// fantasy updates, no joint criterion — which makes the AP cost linear in
+// q and embarrassingly parallel. This is one of the information-based
+// batch APs the paper's survey section classifies (Thompson Sampling) and
+// an instance of the "fast-to-fit surrogate" remedy of §4.
+type TSRFF struct {
+	// Features is the RFF feature count (default 192).
+	Features int
+	// Starts and MaxIter configure each path optimization.
+	Starts, MaxIter int
+}
+
+// NewTSRFF returns the default configuration.
+func NewTSRFF() *TSRFF { return &TSRFF{Features: 192, Starts: 3, MaxIter: 40} }
+
+// Name implements core.Strategy.
+func (s *TSRFF) Name() string { return "TS-RFF" }
+
+// Reset implements core.Strategy (stateless).
+func (s *TSRFF) Reset() {}
+
+// Observe implements core.Strategy (stateless).
+func (s *TSRFF) Observe(*core.State, [][]float64, []float64) {}
+
+// APParallelism implements core.Strategy: every sample-path optimization
+// is independent.
+func (s *TSRFF) APParallelism(q int) int { return q }
+
+// Propose implements core.Strategy.
+func (s *TSRFF) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+	p := st.Problem
+	rff, err := gp.FitRFF(st.X, st.Y, gp.RFFConfig{
+		Config: gp.Config{
+			Lo: p.Lo, Hi: p.Hi,
+			Seed: stream.Uint64(),
+		},
+		Features: s.Features,
+	}, model)
+	if err != nil {
+		return nil, err
+	}
+	batch := make([][]float64, 0, q)
+	sign := 1.0
+	if !p.Minimize {
+		sign = -1 // optimizers minimize; flip maximization paths
+	}
+	for i := 0; i < q; i++ {
+		pathStream := stream.Split(uint64(i))
+		_, gradPath := rff.SamplePath(pathStream)
+		obj := func(x, g []float64) float64 {
+			v := gradPath(x, g)
+			if sign < 0 {
+				for j := range g {
+					g[j] = -g[j]
+				}
+				return -v
+			}
+			return v
+		}
+		starts := optim.DefaultStarts(s.Starts, incumbent(st), p.Lo, p.Hi, pathStream)
+		ms := &optim.MultiStart{Local: &optim.LBFGSB{MaxIter: s.MaxIter, GTol: 1e-7}}
+		res := ms.Run(obj, starts, p.Lo, p.Hi)
+		batch = append(batch, res.X)
+	}
+	return batch, nil
+}

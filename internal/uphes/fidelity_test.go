@@ -1,0 +1,87 @@
+package uphes
+
+import (
+	"testing"
+)
+
+// arbitrage is a profitable reference schedule used by the fidelity tests.
+var arbitrage = []float64{-8, -8, 8, 0, 0, 0, 8, 0, 0, 0, 2, 0}
+
+func TestPenstockLossReducesProfit(t *testing.T) {
+	base := DefaultConfig()
+	lossy := DefaultConfig()
+	lossy.Plant.PenstockLossCoeff = 0.15 // ~8 m loss at 7 m³/s
+	s1, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1, p2 := s1.Profit(arbitrage), s2.Profit(arbitrage); p2 >= p1 {
+		t.Fatalf("penstock losses did not reduce profit: %v -> %v", p1, p2)
+	}
+}
+
+func TestPenstockLossIncreasesTurbineFlow(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	q0 := pl.turbineFlow(7)
+	cfg2 := cfg
+	cfg2.PenstockLossCoeff = 0.15
+	pl2 := newPlant(&cfg2)
+	q1 := pl2.turbineFlow(7)
+	// Same power from a smaller effective head needs more water.
+	if q1 <= q0 {
+		t.Fatalf("turbine flow with losses %v <= without %v", q1, q0)
+	}
+	// Pumping lifts less water per MW against the extra head.
+	p0 := pl.pumpFlow(7)
+	p1 := pl2.pumpFlow(7)
+	if p1 >= p0 {
+		t.Fatalf("pump flow with losses %v >= without %v", p1, p0)
+	}
+}
+
+func TestRampLimitPenalizesModeJumps(t *testing.T) {
+	// A schedule that jumps pump-full → turbine-full between adjacent
+	// slots loses money to ramping imbalance when the limit is enabled.
+	jumpy := []float64{-8, 8, -8, 8, 0, 0, 0, 0, 0, 0, 0, 0}
+	base := DefaultConfig()
+	limited := DefaultConfig()
+	limited.Plant.RampLimitMW = 2 // 2 MW per quarter hour
+	s1, err := New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(limited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, d2 := s1.Detail(jumpy), s2.Detail(jumpy)
+	if d2.ImbalancePenalty <= d1.ImbalancePenalty {
+		t.Fatalf("ramp limit added no imbalance: %v vs %v", d1.ImbalancePenalty, d2.ImbalancePenalty)
+	}
+}
+
+func TestRampLimitNeutralForIdle(t *testing.T) {
+	limited := DefaultConfig()
+	limited.Plant.RampLimitMW = 2
+	s, err := New(limited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idle := make([]float64, Dim)
+	d := s.Detail(idle)
+	if d.ImbalancePenalty != 0 {
+		t.Fatalf("idle schedule incurred ramp imbalance: %+v", d)
+	}
+}
+
+func TestFidelityFeaturesOffByDefault(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Plant.PenstockLossCoeff != 0 || cfg.Plant.RampLimitMW != 0 {
+		t.Fatal("high-fidelity features must default off to preserve the calibration")
+	}
+}

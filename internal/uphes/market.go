@@ -1,0 +1,81 @@
+package uphes
+
+import (
+	"math"
+
+	"repro/internal/rng"
+)
+
+// scenario holds one Monte-Carlo realization of the uncertain inputs:
+// hourly prices, natural inflow, and reserve activations.
+type scenario struct {
+	// price[t] is the day-ahead energy price at step t [EUR/MWh].
+	price [Steps]float64
+	// inflow is the natural inflow for the day [m³/s].
+	inflow float64
+	// activated[r] is the activation fraction of reserve slot r in [0,1]
+	// (0 = not activated).
+	activated [ReserveSlots]float64
+}
+
+// basePrice returns the deterministic day-ahead price shape at hour h —
+// overnight dip, morning peak around 08:30, evening peak around 19:00.
+func basePrice(m *MarketConfig, h float64) float64 {
+	p := m.PriceBase
+	p += m.MorningPeak * math.Exp(-(h-8.5)*(h-8.5)/4.5)
+	p += m.EveningPeak * math.Exp(-(h-19.0)*(h-19.0)/5.0)
+	p -= m.NightDip * math.Exp(-(h-3.0)*(h-3.0)/7.0)
+	return p
+}
+
+// makeScenarios draws the common-random-number scenario set for a
+// simulator instance. The same seed always yields the same scenarios, so
+// the expected profit is a deterministic function of the decision vector.
+func makeScenarios(cfg *Config) []scenario {
+	out := make([]scenario, cfg.Scenarios)
+	for s := range out {
+		stream := rng.New(cfg.Seed, uint64(s)+1)
+		sc := &out[s]
+		// AR(1) hourly price noise interpolated to quarter hours.
+		var hourly [25]float64
+		noise := 0.0
+		for h := 0; h < 25; h++ {
+			noise = 0.7*noise + cfg.Market.PriceSigma*math.Sqrt(1-0.49)*stream.Norm()
+			hourly[h] = noise
+		}
+		for t := 0; t < Steps; t++ {
+			hf := float64(t) * StepHours
+			h0 := int(hf)
+			frac := hf - float64(h0)
+			n := hourly[h0]*(1-frac) + hourly[h0+1]*frac
+			price := basePrice(&cfg.Market, hf) + n
+			if price < 1 {
+				price = 1
+			}
+			sc.price[t] = price
+		}
+		// Inflow: truncated Gaussian around the mean.
+		sc.inflow = cfg.Plant.InflowMean + cfg.Plant.InflowSigma*stream.Norm()
+		if sc.inflow < 0 {
+			sc.inflow = 0
+		}
+		// Reserve activations: Bernoulli per reserve slot with a uniform
+		// activation fraction when triggered.
+		for r := 0; r < ReserveSlots; r++ {
+			if stream.Float64() < cfg.Market.ReserveActivationProb {
+				sc.activated[r] = 0.3 + 0.7*stream.Float64()
+			}
+		}
+	}
+	return out
+}
+
+// averagePrice returns the scenario's mean price, used for the stored
+// water value settlement.
+func (sc *scenario) averagePrice() float64 {
+	var s float64
+	for _, p := range sc.price {
+		s += p
+	}
+	return s / Steps
+}

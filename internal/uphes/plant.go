@@ -1,0 +1,234 @@
+package uphes
+
+import "math"
+
+// Physical constants.
+const (
+	rhoWater = 1000.0 // kg/m³
+	gravity  = 9.81   // m/s²
+)
+
+// plant carries the hydraulic state of the two reservoirs during one
+// simulated day.
+type plant struct {
+	cfg *PlantConfig
+	// upperV and lowerV are the current stored volumes [m³].
+	upperV, lowerV float64
+}
+
+func newPlant(cfg *PlantConfig) *plant {
+	return &plant{
+		cfg:    cfg,
+		upperV: cfg.InitialFill * cfg.UpperVolumeMax,
+		lowerV: cfg.InitialFill * cfg.LowerVolumeMax,
+	}
+}
+
+// upperLevel returns the upper water surface elevation [m].
+func (p *plant) upperLevel() float64 {
+	return p.cfg.UpperBase + p.upperV/p.cfg.UpperArea
+}
+
+// lowerLevel returns the underground water surface elevation [m]. The pit
+// narrows toward the bottom: level rises steeply when nearly empty.
+func (p *plant) lowerLevel() float64 {
+	frac := p.lowerV / p.cfg.LowerVolumeMax
+	if frac < 0 {
+		frac = 0
+	}
+	return p.cfg.LowerBase + p.cfg.LowerDepth*math.Pow(frac, p.cfg.LowerShape)
+}
+
+// head returns the net hydraulic head [m] between the two surfaces.
+func (p *plant) head() float64 {
+	return p.upperLevel() - p.lowerLevel()
+}
+
+// headSafe reports whether the head lies in the safe operating range.
+func (p *plant) headSafe() bool {
+	h := p.head()
+	return h >= p.cfg.HeadMin && h <= p.cfg.HeadMax
+}
+
+// headRatio is h/h_nom, the scaling of head-dependent quantities.
+func (p *plant) headRatio() float64 { return p.head() / p.cfg.HeadNominal }
+
+// pumpRange returns the feasible pump power range [MW] at the current
+// head. Higher head demands more power to move water: the range shifts up
+// with head (limits scale with h/h_nom to the 1.5 power, the usual
+// similarity law for variable-speed machines).
+func (p *plant) pumpRange() (lo, hi float64) {
+	s := math.Pow(p.headRatio(), 1.5)
+	return p.cfg.PumpMinMW * s, p.cfg.PumpMaxMW * s
+}
+
+// turbineRange returns the feasible turbine power range [MW] at the
+// current head. Low head restricts the maximum output sharply.
+func (p *plant) turbineRange() (lo, hi float64) {
+	s := math.Pow(p.headRatio(), 1.5)
+	return p.cfg.TurbineMinMW * s, p.cfg.TurbineMaxMW * s
+}
+
+// cavitationZone returns the turbine forbidden band [MW] at the current
+// head (vibration zone, scaled with head). Operation inside the band is
+// unsafe and penalized.
+func (p *plant) cavitationZone() (lo, hi float64) {
+	s := math.Pow(p.headRatio(), 1.5)
+	return p.cfg.CavitationLow * s, p.cfg.CavitationHigh * s
+}
+
+// turbineEff returns the turbine efficiency at power P [MW]. It peaks at
+// ~85% of the head-adjusted maximum and degrades quadratically with power
+// deviation and with head deviation from nominal — a smooth non-convex
+// performance surface.
+func (p *plant) turbineEff(P float64) float64 {
+	_, hi := p.turbineRange()
+	if hi <= 0 {
+		return 0.01
+	}
+	frac := P / hi
+	dev := frac - 0.85
+	hd := p.headRatio() - 1
+	eff := p.cfg.TurbineEff * (1 - p.cfg.EffPowerCurvature*dev*dev) * (1 - p.cfg.EffHeadCurvature*hd*hd)
+	if eff < 0.05 {
+		eff = 0.05
+	}
+	return eff
+}
+
+// pumpEff returns the pump efficiency at power P [MW].
+func (p *plant) pumpEff(P float64) float64 {
+	_, hi := p.pumpRange()
+	if hi <= 0 {
+		return 0.01
+	}
+	frac := P / hi
+	dev := frac - 0.9
+	hd := p.headRatio() - 1
+	eff := p.cfg.PumpEff * (1 - p.cfg.EffPowerCurvature*dev*dev) * (1 - p.cfg.EffHeadCurvature*hd*hd)
+	if eff < 0.05 {
+		eff = 0.05
+	}
+	return eff
+}
+
+// turbineFlow returns the discharge [m³/s] needed to generate P MW at the
+// current head: Q = P / (η·ρ·g·h_eff). With penstock losses enabled the
+// effective head shrinks by c·Q², solved by a few fixed-point sweeps.
+func (p *plant) turbineFlow(P float64) float64 {
+	h := p.head()
+	if h <= 0 {
+		return 0
+	}
+	q := P * 1e6 / (p.turbineEff(P) * rhoWater * gravity * h)
+	if c := p.cfg.PenstockLossCoeff; c > 0 {
+		for iter := 0; iter < 4; iter++ {
+			hEff := h - c*q*q
+			if hEff < 1 {
+				hEff = 1
+			}
+			q = P * 1e6 / (p.turbineEff(P) * rhoWater * gravity * hEff)
+		}
+	}
+	return q
+}
+
+// pumpFlow returns the lift flow [m³/s] achieved by P MW of pumping:
+// Q = η·P / (ρ·g·h_eff). Penstock losses increase the head the pump must
+// overcome.
+func (p *plant) pumpFlow(P float64) float64 {
+	h := p.head()
+	if h <= 0 {
+		return 0
+	}
+	q := p.pumpEff(P) * P * 1e6 / (rhoWater * gravity * h)
+	if c := p.cfg.PenstockLossCoeff; c > 0 {
+		for iter := 0; iter < 4; iter++ {
+			hEff := h + c*q*q
+			q = p.pumpEff(P) * P * 1e6 / (rhoWater * gravity * hEff)
+		}
+	}
+	return q
+}
+
+// moveTurbine discharges volume v [m³] from upper to lower, clamped by
+// availability; returns the fraction actually movable.
+func (p *plant) moveTurbine(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	avail := math.Min(p.upperV, p.cfg.LowerVolumeMax-p.lowerV)
+	frac := 1.0
+	if v > avail {
+		frac = avail / v
+		v = avail
+	}
+	p.upperV -= v
+	p.lowerV += v
+	return frac
+}
+
+// movePump lifts volume v [m³] from lower to upper, clamped by
+// availability; returns the fraction actually movable.
+func (p *plant) movePump(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	avail := math.Min(p.lowerV, p.cfg.UpperVolumeMax-p.upperV)
+	frac := 1.0
+	if v > avail {
+		frac = avail / v
+		v = avail
+	}
+	p.lowerV -= v
+	p.upperV += v
+	return frac
+}
+
+// groundwaterStep exchanges water between the lower basin and the
+// surrounding rock mass over dt seconds: Darcy-like flow proportional to
+// the level difference to the water table. Positive exchange fills the
+// basin.
+func (p *plant) groundwaterStep(dtSeconds float64) float64 {
+	diff := p.cfg.GroundwaterLevel - p.lowerLevel()
+	flow := p.cfg.GroundwaterRate * diff // m³/s, signed
+	dv := flow * dtSeconds
+	switch {
+	case dv > 0:
+		room := p.cfg.LowerVolumeMax - p.lowerV
+		if dv > room {
+			dv = room
+		}
+	case dv < 0:
+		if -dv > p.lowerV {
+			dv = -p.lowerV
+		}
+	}
+	p.lowerV += dv
+	return dv
+}
+
+// inflowStep adds natural inflow [m³/s over dt seconds] to the lower basin.
+func (p *plant) inflowStep(flow, dtSeconds float64) {
+	dv := flow * dtSeconds
+	if dv < 0 {
+		dv = 0
+	}
+	room := p.cfg.LowerVolumeMax - p.lowerV
+	if dv > room {
+		dv = room
+	}
+	p.lowerV += dv
+}
+
+// storedEnergyMWh returns the potential energy of the upper reservoir
+// relative to the current head, net of turbine efficiency — the water
+// value basis for the end-of-day settlement.
+func (p *plant) storedEnergyMWh() float64 {
+	h := p.head()
+	if h <= 0 {
+		return 0
+	}
+	joules := p.upperV * rhoWater * gravity * h * p.cfg.TurbineEff
+	return joules / 3.6e9
+}

@@ -1,0 +1,403 @@
+package uphes
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/rng"
+)
+
+func newSim(t *testing.T) *Simulator {
+	t.Helper()
+	s, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDefaultConfigValid(t *testing.T) {
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Scenarios = -1 },
+		func(c *Config) { c.Plant.UpperVolumeMax = 0 },
+		func(c *Config) { c.Plant.UpperArea = -1 },
+		func(c *Config) { c.Plant.HeadMin = 200 },
+		func(c *Config) { c.Plant.PumpMinMW = 0 },
+		func(c *Config) { c.Plant.TurbineMinMW = 10 },
+		func(c *Config) { c.Plant.PumpEff = 1.5 },
+		func(c *Config) { c.Plant.InitialFill = 2 },
+		func(c *Config) { c.Market.ReserveMaxMW = -1 },
+	}
+	for i, mut := range mutations {
+		c := DefaultConfig()
+		mut(&c)
+		if _, err := New(c); err == nil {
+			t.Fatalf("mutation %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBoundsShape(t *testing.T) {
+	s := newSim(t)
+	lo, hi := s.Bounds()
+	if len(lo) != Dim || len(hi) != Dim {
+		t.Fatalf("bounds dims %d, %d", len(lo), len(hi))
+	}
+	for i := 0; i < EnergySlots; i++ {
+		if lo[i] != -8 || hi[i] != 8 {
+			t.Fatalf("energy bound %d = [%v, %v]", i, lo[i], hi[i])
+		}
+	}
+	for i := EnergySlots; i < Dim; i++ {
+		if lo[i] != 0 || hi[i] != 2 {
+			t.Fatalf("reserve bound %d = [%v, %v]", i, lo[i], hi[i])
+		}
+	}
+}
+
+func TestDeterministicProfit(t *testing.T) {
+	s1 := newSim(t)
+	s2 := newSim(t)
+	x := []float64{-8, -8, 8, 0, 0, 0, 8, 0, 0, 1, 1, 0}
+	if s1.Profit(x) != s2.Profit(x) {
+		t.Fatal("profit not deterministic across instances")
+	}
+	if s1.Profit(x) != s1.Profit(x) {
+		t.Fatal("profit not deterministic across calls")
+	}
+}
+
+func TestSeedChangesScenarios(t *testing.T) {
+	c1, c2 := DefaultConfig(), DefaultConfig()
+	c2.Seed++
+	s1, _ := New(c1)
+	s2, _ := New(c2)
+	x := []float64{-8, -8, 8, 0, 0, 0, 8, 0, 0, 1, 1, 0}
+	if s1.Profit(x) == s2.Profit(x) {
+		t.Fatal("different seeds gave identical profit")
+	}
+}
+
+func TestIdleCostsFixedOM(t *testing.T) {
+	s := newSim(t)
+	idle := make([]float64, Dim)
+	got := s.Profit(idle)
+	want := -s.Config().Market.DailyFixedCost
+	// Idle profit is the fixed cost plus a tiny stored-value drift from
+	// groundwater exchange.
+	if math.Abs(got-want) > 0.05*s.Config().Market.DailyFixedCost {
+		t.Fatalf("idle profit %v, want ≈ %v", got, want)
+	}
+}
+
+func TestArbitrageBeatsIdle(t *testing.T) {
+	s := newSim(t)
+	arb := []float64{-8, -8, 8, 0, 0, 0, 8, 0, 0, 0, 0, 0}
+	idle := make([]float64, Dim)
+	if s.Profit(arb) <= s.Profit(idle) {
+		t.Fatalf("arbitrage %v not better than idle %v", s.Profit(arb), s.Profit(idle))
+	}
+}
+
+func TestGoodScheduleIsProfitable(t *testing.T) {
+	// The calibrated landscape admits positive profit (cf. the paper's
+	// optimized profits of several hundred EUR).
+	s := newSim(t)
+	good := []float64{-8, -8, 8, 0, 0, 0, 8, 4, 0, 0, 2, 0}
+	if p := s.Profit(good); p <= 0 {
+		t.Fatalf("known-good schedule unprofitable: %v", p)
+	}
+}
+
+func TestRandomSchedulesMostlyLose(t *testing.T) {
+	s := newSim(t)
+	lo, hi := s.Bounds()
+	stream := rng.New(5, 5)
+	losses := 0
+	const n = 200
+	for i := 0; i < n; i++ {
+		if s.Profit(stream.UniformVec(lo, hi)) < 0 {
+			losses++
+		}
+	}
+	if losses < n*9/10 {
+		t.Fatalf("only %d/%d random schedules lose money; landscape too easy", losses, n)
+	}
+}
+
+func TestDetailConsistentWithProfit(t *testing.T) {
+	s := newSim(t)
+	x := []float64{-7, 0, 5, 0, -8, 0, 8, 0, 0.5, 0, 1, 0}
+	d := s.Detail(x)
+	sum := d.EnergyRevenue + d.ReserveRevenue + d.StoredValue -
+		d.ImbalancePenalty - d.ReservePenalty - d.CavitationPenalty -
+		s.Config().Market.DailyFixedCost
+	if math.Abs(sum-d.Profit) > 1e-9 {
+		t.Fatalf("breakdown sum %v != profit %v", sum, d.Profit)
+	}
+	if d.Profit != s.Profit(x) {
+		t.Fatal("Detail and Profit disagree")
+	}
+}
+
+func TestPenaltiesNonNegative(t *testing.T) {
+	s := newSim(t)
+	lo, hi := s.Bounds()
+	stream := rng.New(6, 6)
+	for i := 0; i < 100; i++ {
+		d := s.Detail(stream.UniformVec(lo, hi))
+		if d.ImbalancePenalty < 0 || d.ReservePenalty < 0 || d.CavitationPenalty < 0 {
+			t.Fatalf("negative penalty: %+v", d)
+		}
+		if d.ReserveRevenue < 0 {
+			t.Fatalf("negative reserve revenue: %+v", d)
+		}
+	}
+}
+
+func TestCavitationZoneDiscontinuity(t *testing.T) {
+	// A setpoint inside the forbidden band must incur the cavitation
+	// penalty; just outside it must not.
+	s := newSim(t)
+	inside := make([]float64, Dim)
+	inside[3] = 5.7 // within [5.4, 6.0] scaled near nominal head
+	din := s.Detail(inside)
+	if din.CavitationPenalty <= 0 {
+		t.Fatalf("no cavitation penalty inside band: %+v", din)
+	}
+	outside := make([]float64, Dim)
+	outside[3] = 7.5
+	dout := s.Detail(outside)
+	if dout.CavitationPenalty != 0 {
+		t.Fatalf("cavitation penalty outside band: %+v", dout)
+	}
+}
+
+func TestPumpModeReserveInfeasible(t *testing.T) {
+	// Offering reserve during a pump block must be penalized.
+	s := newSim(t)
+	x := make([]float64, Dim)
+	x[0] = -8          // pump 0-3h
+	x[1] = -8          // pump 3-6h
+	x[EnergySlots] = 2 // reserve 0-6h overlaps both pump blocks
+	d := s.Detail(x)
+	if d.ReservePenalty <= 0 {
+		t.Fatalf("no reserve penalty while pumping: %+v", d)
+	}
+	// Same reserve in an idle window is not penalized.
+	x2 := make([]float64, Dim)
+	x2[EnergySlots+2] = 1 // reserve 12-18h, idle all day
+	d2 := s.Detail(x2)
+	if d2.ReservePenalty != 0 {
+		t.Fatalf("reserve penalty while idle with full headroom: %+v", d2)
+	}
+	if d2.ReserveRevenue <= 0 {
+		t.Fatal("no reserve revenue earned")
+	}
+}
+
+func TestFullDrainTripsHead(t *testing.T) {
+	// Turbining flat-out all day must hit the head limit and convert the
+	// tail of the schedule into imbalance.
+	s := newSim(t)
+	x := make([]float64, Dim)
+	for i := 0; i < EnergySlots; i++ {
+		x[i] = 8
+	}
+	d := s.Detail(x)
+	if d.ImbalancePenalty <= 0 {
+		t.Fatalf("flat-out turbining incurred no imbalance: %+v", d)
+	}
+}
+
+func TestEvalReportsLatency(t *testing.T) {
+	s := newSim(t)
+	_, cost := s.Eval(make([]float64, Dim))
+	if cost != 10*time.Second {
+		t.Fatalf("latency = %v", cost)
+	}
+}
+
+func TestWrongDimPanics(t *testing.T) {
+	s := newSim(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.Profit([]float64{1, 2, 3})
+}
+
+func TestConcurrentEvaluationsRaceFree(t *testing.T) {
+	s := newSim(t)
+	lo, hi := s.Bounds()
+	stream := rng.New(7, 7)
+	xs := make([][]float64, 16)
+	want := make([]float64, 16)
+	for i := range xs {
+		xs[i] = stream.UniformVec(lo, hi)
+		want[i] = s.Profit(xs[i])
+	}
+	done := make(chan bool, len(xs))
+	for i := range xs {
+		go func(i int) {
+			done <- s.Profit(xs[i]) == want[i]
+		}(i)
+	}
+	for range xs {
+		if !<-done {
+			t.Fatal("concurrent evaluation produced different value")
+		}
+	}
+}
+
+// --- plant physics ----------------------------------------------------------
+
+func TestPlantHeadAtInitialFill(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	h := pl.head()
+	if h < cfg.HeadMin || h > cfg.HeadMax {
+		t.Fatalf("initial head %v outside safe range [%v, %v]", h, cfg.HeadMin, cfg.HeadMax)
+	}
+	if math.Abs(h-cfg.HeadNominal) > 5 {
+		t.Fatalf("initial head %v far from nominal %v", h, cfg.HeadNominal)
+	}
+}
+
+func TestHeadIncreasesWithPumping(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	h0 := pl.head()
+	pl.movePump(50000)
+	if pl.head() <= h0 {
+		t.Fatalf("pumping did not raise head: %v -> %v", h0, pl.head())
+	}
+}
+
+func TestVolumeConservationInMoves(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	total := pl.upperV + pl.lowerV
+	pl.moveTurbine(30000)
+	pl.movePump(10000)
+	if math.Abs(pl.upperV+pl.lowerV-total) > 1e-6 {
+		t.Fatalf("volume not conserved: %v vs %v", pl.upperV+pl.lowerV, total)
+	}
+}
+
+func TestMoveClampsAtCapacity(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	pl.upperV = 1000
+	frac := pl.moveTurbine(50000) // only 1000 m³ available
+	if frac >= 1 {
+		t.Fatalf("frac = %v for starved turbine", frac)
+	}
+	if pl.upperV != 0 {
+		t.Fatalf("upper volume = %v", pl.upperV)
+	}
+}
+
+func TestGroundwaterSignAndDirection(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	// Nearly empty basin sits below the water table: inflow.
+	pl.lowerV = 0.01 * cfg.LowerVolumeMax
+	if dv := pl.groundwaterStep(3600); dv <= 0 {
+		t.Fatalf("expected groundwater inflow, got %v", dv)
+	}
+	// Nearly full basin sits above the water table: outflow.
+	pl.lowerV = 0.99 * cfg.LowerVolumeMax
+	if dv := pl.groundwaterStep(3600); dv >= 0 {
+		t.Fatalf("expected groundwater outflow, got %v", dv)
+	}
+}
+
+func TestEfficienciesInRange(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	for _, p := range []float64{4, 5, 6, 7, 8} {
+		if e := pl.turbineEff(p); e <= 0 || e > cfg.TurbineEff {
+			t.Fatalf("turbine eff(%v) = %v", p, e)
+		}
+		if e := pl.pumpEff(p); e <= 0 || e > cfg.PumpEff {
+			t.Fatalf("pump eff(%v) = %v", p, e)
+		}
+	}
+}
+
+func TestRangesScaleWithHead(t *testing.T) {
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	_, tHiNominal := pl.turbineRange()
+	// Drain the upper reservoir: head drops, turbine max drops.
+	pl.upperV = 0.05 * cfg.UpperVolumeMax
+	pl.lowerV = 0.95 * cfg.LowerVolumeMax
+	_, tHiLow := pl.turbineRange()
+	if tHiLow >= tHiNominal {
+		t.Fatalf("turbine max did not drop with head: %v -> %v", tHiNominal, tHiLow)
+	}
+}
+
+func TestStoredEnergyMagnitude(t *testing.T) {
+	// Full upper reservoir at nominal-ish head ≈ 80 MWh (the Maizeret
+	// energy capacity).
+	cfg := DefaultConfig().Plant
+	pl := newPlant(&cfg)
+	pl.upperV = cfg.UpperVolumeMax
+	e := pl.storedEnergyMWh()
+	if e < 60 || e > 110 {
+		t.Fatalf("full stored energy %v MWh, want ≈ 80", e)
+	}
+}
+
+func TestBasePriceShape(t *testing.T) {
+	m := DefaultConfig().Market
+	night := basePrice(&m, 3)
+	morning := basePrice(&m, 8.5)
+	midday := basePrice(&m, 13)
+	evening := basePrice(&m, 19)
+	if !(night < midday && midday < morning && morning < evening) {
+		t.Fatalf("price shape broken: night %v, midday %v, morning %v, evening %v",
+			night, midday, morning, evening)
+	}
+}
+
+func TestScenarioPricesPositive(t *testing.T) {
+	cfg := DefaultConfig()
+	scs := makeScenarios(&cfg)
+	if len(scs) != cfg.Scenarios {
+		t.Fatalf("got %d scenarios", len(scs))
+	}
+	for i, sc := range scs {
+		for t0, p := range sc.price {
+			if p <= 0 {
+				t.Fatalf("scenario %d price[%d] = %v", i, t0, p)
+			}
+		}
+		if sc.inflow < 0 {
+			t.Fatalf("scenario %d inflow %v", i, sc.inflow)
+		}
+		for _, a := range sc.activated {
+			if a < 0 || a > 1 {
+				t.Fatalf("activation fraction %v", a)
+			}
+		}
+	}
+}
+
+func TestScenariosDiffer(t *testing.T) {
+	cfg := DefaultConfig()
+	scs := makeScenarios(&cfg)
+	if scs[0].price[10] == scs[1].price[10] {
+		t.Fatal("scenarios share price noise")
+	}
+}
