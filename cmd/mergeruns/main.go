@@ -26,6 +26,24 @@ import (
 	"repro/internal/stats"
 )
 
+// mustInt and mustFloat convert regexp-matched fields; the pattern
+// guarantees syntax, so a failure means corrupt input worth dying over.
+func mustInt(path, s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		log.Fatalf("%s: bad integer %q: %v", path, s, err)
+	}
+	return v
+}
+
+func mustFloat(path, s string) float64 {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		log.Fatalf("%s: bad float %q: %v", path, s, err)
+	}
+	return v
+}
+
 var lineRE = regexp.MustCompile(
 	`^(\S+)\s+(.+?)\s+q=(\d+)\s+rep=(\d+)\s+best=\s*(-?[\d.]+)\s+cycles=\s*(\d+)\s+evals=\s*(\d+)`)
 
@@ -56,14 +74,19 @@ func main() {
 				continue
 			}
 			r := run{problem: m[1], alg: m[2]}
-			r.q, _ = strconv.Atoi(m[3])
-			r.rep, _ = strconv.Atoi(m[4])
-			r.best, _ = strconv.ParseFloat(m[5], 64)
-			r.cycles, _ = strconv.Atoi(m[6])
-			r.evals, _ = strconv.Atoi(m[7])
+			r.q = mustInt(path, m[3])
+			r.rep = mustInt(path, m[4])
+			r.best = mustFloat(path, m[5])
+			r.cycles = mustInt(path, m[6])
+			r.evals = mustInt(path, m[7])
 			runs = append(runs, r)
 		}
-		f.Close()
+		if err := sc.Err(); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("%s: %v", path, err)
+		}
 	}
 	if len(runs) == 0 {
 		log.Fatal("no run lines found")

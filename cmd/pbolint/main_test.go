@@ -1,0 +1,127 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+const fixtureRoot = "../../internal/analysis/testdata"
+
+// TestCLIOverFixtures runs the full CLI over every analyzer fixture and
+// asserts the exact diagnostic set — which also pins down //lint:ignore
+// suppression behavior, since each suppressed fixture line must NOT
+// appear. The expected set is the union of the per-analyzer golden
+// files, so the CLI test stays in lockstep with the analyzer tests.
+func TestCLIOverFixtures(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{filepath.Join(fixtureRoot, "src") + "/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings present); stderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+
+	got := splitLines(stdout.String())
+	var want []string
+	goldens, err := filepath.Glob(filepath.Join(fixtureRoot, "*.golden"))
+	if err != nil || len(goldens) != 5 {
+		t.Fatalf("found %d golden files (err %v), want 5", len(goldens), err)
+	}
+	for _, g := range goldens {
+		data, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range splitLines(string(data)) {
+			// Golden paths are relative to internal/analysis; the CLI
+			// here runs from cmd/pbolint.
+			want = append(want, "../../internal/analysis/"+line)
+		}
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("diagnostic set mismatch\n--- got ---\n%s\n--- want ---\n%s",
+			strings.Join(got, "\n"), strings.Join(want, "\n"))
+	}
+}
+
+// TestCLICleanFixturesExitZero runs the CLI over the compliant fixture
+// packages only and requires a silent, zero-status run.
+func TestCLICleanFixturesExitZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		filepath.Join(fixtureRoot, "src/internal/rng"),
+		filepath.Join(fixtureRoot, "src/internal/fp"),
+		filepath.Join(fixtureRoot, "src/internal/parallel"),
+		filepath.Join(fixtureRoot, "src/noprintmain"),
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0; stdout: %s stderr: %s", code, stdout.String(), stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected output: %s", stdout.String())
+	}
+}
+
+// TestCLIOnlyFlag restricts the run to one analyzer: norand findings
+// remain, everything else disappears.
+func TestCLIOnlyFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-only", "norand", filepath.Join(fixtureRoot, "src") + "/..."}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, stderr.String())
+	}
+	var norand int
+	for _, l := range splitLines(stdout.String()) {
+		switch {
+		case strings.Contains(l, " norand: "):
+			norand++
+		case strings.Contains(l, " pbolint: malformed directive"):
+			// Directive hygiene is reported regardless of -only.
+		default:
+			t.Errorf("non-norand finding leaked through -only: %s", l)
+		}
+	}
+	if norand != 2 {
+		t.Errorf("got %d norand findings, want 2:\n%s", norand, stdout.String())
+	}
+}
+
+func TestCLIBadUsage(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-only", "nosuch", "."}, &stdout, &stderr); code != 2 {
+		t.Errorf("unknown analyzer: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"./no-such-dir-anywhere"}, &stdout, &stderr); code != 2 {
+		t.Errorf("missing dir: exit code = %d, want 2", code)
+	}
+	if code := run([]string{"-badflag"}, &stdout, &stderr); code != 2 {
+		t.Errorf("bad flag: exit code = %d, want 2", code)
+	}
+}
+
+func TestCLIList(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"norand", "noprint", "floatcmp", "godiscipline", "errcheck"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s", name)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	s = strings.TrimSuffix(s, "\n")
+	if s == "" {
+		return nil
+	}
+	return strings.Split(s, "\n")
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is a lite errcheck: no error return may be discarded, neither
+// by a bare call statement nor by assigning to the blank identifier. A
+// small allowlist admits calls whose error is documented to always be nil
+// (bytes.Buffer / strings.Builder methods) or meaningless for this
+// codebase (fmt printing to the standard streams from cmd/ binaries).
+// Deferred calls are exempt.
+var ErrCheck = &Analyzer{
+	Name: "errcheck",
+	Doc:  "forbid discarded error returns via bare calls or _ assignment",
+	Run:  runErrCheck,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func runErrCheck(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, ok := st.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(p, call) || allowlisted(p, call) {
+					return true
+				}
+				p.Reportf(call.Pos(), "unchecked error returned by %s: handle it, or //lint:ignore errcheck <reason>", calleeName(p, call))
+			case *ast.AssignStmt:
+				checkBlankDiscard(p, st)
+			}
+			return true
+		})
+	}
+}
+
+func checkBlankDiscard(p *Pass, st *ast.AssignStmt) {
+	for i, lhs := range st.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		var t types.Type
+		switch {
+		case len(st.Rhs) == len(st.Lhs):
+			t = p.Info.TypeOf(st.Rhs[i])
+		case len(st.Rhs) == 1:
+			if tup, ok := p.Info.TypeOf(st.Rhs[0]).(*types.Tuple); ok && i < tup.Len() {
+				t = tup.At(i).Type()
+			}
+		}
+		if t != nil && types.Identical(t, errorType) {
+			p.Reportf(id.Pos(), "error discarded with _: handle it, or //lint:ignore errcheck <reason>")
+		}
+	}
+}
+
+// returnsError reports whether any result of the call has type error.
+func returnsError(p *Pass, call *ast.CallExpr) bool {
+	switch t := p.Info.TypeOf(call).(type) {
+	case nil:
+		return false
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if types.Identical(t.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// callee resolves the called *types.Func, unwrapping parentheses.
+func callee(p *Pass, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch e := fun.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+func calleeName(p *Pass, call *ast.CallExpr) string {
+	if fn := callee(p, call); fn != nil {
+		return fn.FullName()
+	}
+	return "call"
+}
+
+var errAlwaysNilRecv = map[string]bool{
+	"*bytes.Buffer":    true,
+	"*strings.Builder": true,
+}
+
+func allowlisted(p *Pass, call *ast.CallExpr) bool {
+	fn := callee(p, call)
+	if fn == nil {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		// bytes.Buffer and strings.Builder document their error results
+		// as always nil.
+		return errAlwaysNilRecv[sig.Recv().Type().String()]
+	}
+	if fn.Pkg() == nil || fn.Pkg().Path() != "fmt" {
+		return false
+	}
+	switch fn.Name() {
+	case "Print", "Printf", "Println":
+		return true
+	case "Fprint", "Fprintf", "Fprintln":
+		return len(call.Args) > 0 && benignWriter(p, call.Args[0])
+	}
+	return false
+}
+
+// benignWriter reports writers whose fmt errors carry no information:
+// in-memory buffers, and the process's own standard streams.
+func benignWriter(p *Pass, arg ast.Expr) bool {
+	if t := p.Info.TypeOf(arg); t != nil && errAlwaysNilRecv[t.String()] {
+		return true
+	}
+	sel, ok := ast.Unparen(arg).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Stdout" && sel.Sel.Name != "Stderr") {
+		return false
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := p.Info.Uses[x].(*types.PkgName)
+	return ok && pkg.Imported().Path() == "os"
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked compilation unit. A directory
+// with an external test package (package foo_test) yields two Packages.
+type Package struct {
+	Path  string // import path, derived from the module path
+	Name  string // package name from the package clause
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds non-fatal type-check problems. Analyzers run on
+	// whatever information survived; the CLI reports them separately.
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages. One Loader shares a FileSet and
+// a source importer across all packages so stdlib dependencies are only
+// compiled once per run.
+type Loader struct {
+	Fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a loader backed by the stdlib source importer.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset: fset,
+		imp:  importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// Load expands the patterns (directories, or dir/... recursive walks)
+// into package directories, then parses and type-checks each. Results are
+// sorted by import path for deterministic output.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := expandPatterns(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		ps, err := l.loadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", dir, err)
+		}
+		pkgs = append(pkgs, ps...)
+	}
+	sort.Slice(pkgs, func(i, j int) bool {
+		if pkgs[i].Path != pkgs[j].Path {
+			return pkgs[i].Path < pkgs[j].Path
+		}
+		return pkgs[i].Name < pkgs[j].Name
+	})
+	return pkgs, nil
+}
+
+func expandPatterns(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		root, recursive := strings.CutSuffix(pat, "...")
+		root = filepath.Clean(strings.TrimSuffix(root, string(filepath.Separator)))
+		if root == "" {
+			root = "."
+		}
+		if !recursive {
+			if hasGoFiles(root) {
+				add(root)
+			} else if _, err := os.Stat(root); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			base := filepath.Base(path)
+			if path != root && (strings.HasPrefix(base, ".") || strings.HasPrefix(base, "_") || base == "vendor") {
+				return filepath.SkipDir
+			}
+			// testdata holds analyzer fixtures which are not part of the
+			// module build; skip it unless the walk was rooted inside it.
+			if path != root && base == "testdata" && !strings.Contains(root, "testdata") {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			return true
+		}
+	}
+	return false
+}
+
+// loadDir parses every .go file in dir and type-checks up to two units:
+// the package itself (including in-package _test.go files) and, when
+// present, the external foo_test package.
+func (l *Loader) loadDir(dir string) ([]*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	byPkg := map[string][]*ast.File{}
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
+	}
+	importPath, err := importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	// In-package _test.go files share the package clause of their package
+	// and are grouped with it naturally; an external test package
+	// (package foo_test) becomes a unit of its own.
+	var names []string
+	for name := range byPkg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var pkgs []*Package
+	for _, name := range names {
+		path := importPath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		pkgs = append(pkgs, l.check(path, name, dir, byPkg[name]))
+	}
+	return pkgs, nil
+}
+
+// check type-checks one unit, tolerating type errors.
+func (l *Loader) check(path, name, dir string, files []*ast.File) *Package {
+	pkg := &Package{Path: path, Name: name, Dir: dir, Fset: l.Fset, Files: files}
+	conf := types.Config{
+		Importer: l.imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	pkg.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	//lint:ignore errcheck Check's error is the first of pkg.TypeErrors, already collected by the Error handler above
+	pkg.Types, _ = conf.Check(path, l.Fset, files, pkg.Info)
+	return pkg
+}
+
+// importPathFor derives the import path of dir from the enclosing
+// module's go.mod. Fixture directories below testdata get the same
+// treatment, yielding pseudo-paths like
+// repro/internal/analysis/testdata/src/internal/rng — which is what lets
+// fixtures exercise path-based analyzer exemptions.
+func importPathFor(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			// Outside any module: fall back to the cleaned directory path.
+			return filepath.ToSlash(dir), nil
+		}
+		root = parent
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	rel, err := filepath.Rel(root, abs)
+	if err != nil {
+		return "", err
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NoPrint keeps internal/ library packages from writing directly to the
+// process's standard streams: no fmt.Print*, no log package output, no
+// direct os.Stdout/os.Stderr references. Library code returns values or
+// accepts an io.Writer; presentation belongs to cmd/ binaries. Test files
+// and package main are exempt.
+var NoPrint = &Analyzer{
+	Name: "noprint",
+	Doc:  "forbid fmt.Print*/log output and direct os.Stdout/os.Stderr use inside internal/ library packages",
+	Run:  runNoPrint,
+}
+
+var noPrintFuncs = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+	"os": {"Stdout": true, "Stderr": true},
+}
+
+func runNoPrint(p *Pass) {
+	if p.PkgName == "main" || !strings.Contains("/"+p.PkgPath+"/", "/internal/") {
+		return
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			members, ok := noPrintFuncs[pkgIdent.Name]
+			if !ok || !members[sel.Sel.Name] {
+				return true
+			}
+			// Confirm the identifier really is the stdlib package, not a
+			// local variable that happens to be called fmt/log/os.
+			if obj, ok := p.Info.Uses[pkgIdent]; ok {
+				if _, isPkg := obj.(*types.PkgName); !isPkg {
+					return true
+				}
+			}
+			if p.InTestFile(n.Pos()) {
+				return true
+			}
+			what := "call of"
+			if pkgIdent.Name == "os" {
+				what = "reference to"
+			}
+			p.Reportf(sel.Pos(), "%s %s.%s in internal package %s: return values or accept an io.Writer; output belongs in cmd/", what, pkgIdent.Name, sel.Sel.Name, p.PkgPath)
+			return true
+		})
+	}
+}

@@ -1,0 +1,34 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NoRand forbids math/rand and math/rand/v2 everywhere except inside
+// internal/rng (the package that wraps them behind seed-splittable
+// streams) and its own tests. Every other component must draw from an
+// rng.Stream so whole experiments replay bit-identically from one master
+// seed.
+var NoRand = &Analyzer{
+	Name: "norand",
+	Doc:  "forbid math/rand outside internal/rng; randomness must flow through seed-splittable rng.Stream values",
+	Run:  runNoRand,
+}
+
+func runNoRand(p *Pass) {
+	if pathHasSuffix(strings.TrimSuffix(p.PkgPath, "_test"), "internal/rng") {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %q outside internal/rng: draw from a seed-splittable internal/rng.Stream instead", path)
+			}
+		}
+	}
+}

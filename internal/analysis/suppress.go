@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A suppression silences one or more analyzers on the line the comment
+// trails, or on the line immediately below a comment that stands alone:
+//
+//	x := a == b //lint:ignore floatcmp bit-exact replay check
+//
+//	//lint:ignore norand import cycle: rng depends on mat
+//	import "math/rand/v2"
+//
+// The analyzer list may name several analyzers separated by commas. A
+// reason is mandatory; a directive without one is itself reported.
+type suppression struct {
+	analyzers map[string]bool
+	file      string
+	line      int
+}
+
+type suppressionSet struct {
+	entries   []suppression
+	malformed []Diagnostic
+}
+
+const ignoreDirective = "//lint:ignore"
+
+func collectSuppressions(fset *token.FileSet, files []*ast.File) *suppressionSet {
+	set := &suppressionSet{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignoreDirective))
+				name, reason, _ := strings.Cut(rest, " ")
+				if name == "" || strings.TrimSpace(reason) == "" {
+					set.malformed = append(set.malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "pbolint",
+						Message:  "malformed directive: want //lint:ignore <analyzers> <reason>",
+					})
+					continue
+				}
+				s := suppression{analyzers: map[string]bool{}, file: pos.Filename, line: pos.Line}
+				for _, n := range strings.Split(name, ",") {
+					s.analyzers[strings.TrimSpace(n)] = true
+				}
+				set.entries = append(set.entries, s)
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether a diagnostic from the named analyzer at pos
+// is covered by a directive on the same or the preceding line.
+func (s *suppressionSet) suppresses(analyzer string, pos token.Position) bool {
+	for _, e := range s.entries {
+		if e.file != pos.Filename || !e.analyzers[analyzer] {
+			continue
+		}
+		if e.line == pos.Line || e.line == pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}

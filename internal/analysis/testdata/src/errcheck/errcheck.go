@@ -1,0 +1,44 @@
+// Package errcheck is a pbolint fixture: discarded error returns — bare
+// calls and blank assignments — must be reported; handled errors,
+// non-error blanks, deferred calls, the in-memory-writer allowlist and a
+// reasoned suppression stay silent.
+package errcheck
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func parse(s string) (int, error) { return len(s), nil }
+
+// Sloppy discards errors three ways — three reports.
+func Sloppy() int {
+	mayFail()
+	_ = mayFail()
+	n, _ := parse("x")
+	return n
+}
+
+// Careful handles everything — silent.
+func Careful() (string, error) {
+	defer mayFail() // deferred calls are exempt
+
+	if err := mayFail(); err != nil {
+		return "", err
+	}
+	n, err := parse("x")
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	sb.WriteString("n = ") // strings.Builder errors are always nil
+	fmt.Fprintf(&sb, "%d", n)
+
+	//lint:ignore errcheck fixture: best-effort cleanup
+	mayFail()
+	return sb.String(), nil
+}

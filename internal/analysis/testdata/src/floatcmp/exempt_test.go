@@ -1,0 +1,12 @@
+package floatcmp
+
+import "testing"
+
+// Determinism tests assert bit-identical replay by design, so _test.go
+// files are exempt from floatcmp.
+func TestBitExactReplay(t *testing.T) {
+	a, b := 0.1+0.2, 0.1+0.2
+	if a != b {
+		t.Fatal("replay diverged")
+	}
+}

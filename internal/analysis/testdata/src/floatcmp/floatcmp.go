@@ -1,0 +1,29 @@
+// Package floatcmp is a pbolint fixture: exact equality on
+// floating-point operands must be reported; integer comparisons,
+// constant-constant comparisons and suppressed lines stay silent.
+package floatcmp
+
+// Converged compares floats exactly — reported.
+func Converged(a, b float64) bool {
+	return a == b
+}
+
+// NonZero compares a float against a literal — reported.
+func NonZero(x float64) bool {
+	return x != 0
+}
+
+// Sentinel is exact on purpose and carries a reasoned suppression.
+func Sentinel(x float64) bool {
+	return x == -1 //lint:ignore floatcmp fixture: sentinel check is bit-exact by design
+}
+
+// SameLen is an integer comparison — silent.
+func SameLen(a, b []float64) bool {
+	return len(a) == len(b)
+}
+
+const eps1, eps2 = 1e-9, 1e-12
+
+// tightest is a constant-constant comparison, folded at compile time — silent.
+var tightest = eps1 == eps2

@@ -1,0 +1,28 @@
+// Package godiscipline is a pbolint fixture: bare go statements outside
+// internal/parallel must be reported; a reasoned suppression silences
+// one, and a directive missing its reason is itself reported.
+package godiscipline
+
+// Fire spawns an unaccounted goroutine — reported.
+func Fire(done chan struct{}) {
+	go func() {
+		close(done)
+	}()
+}
+
+// FireSuppressed carries a reasoned suppression — silent.
+func FireSuppressed(done chan struct{}) {
+	//lint:ignore godiscipline fixture: lifecycle goroutine outside the evaluation path
+	go func() {
+		close(done)
+	}()
+}
+
+// FireMalformed has a directive without a reason — the directive itself
+// is reported, and so is the go statement it fails to cover.
+func FireMalformed(done chan struct{}) {
+	//lint:ignore godiscipline
+	go func() {
+		close(done)
+	}()
+}

@@ -1,0 +1,7 @@
+// Package fp is a pbolint fixture: its import path ends in internal/fp,
+// the approved home of tolerance helpers, so exact comparisons inside it
+// stay silent.
+package fp
+
+// Exact is the approved escape hatch for bit-level equality.
+func Exact(a, b float64) bool { return a == b }

@@ -1,0 +1,17 @@
+// Package parallel is a pbolint fixture: its import path ends in
+// internal/parallel, the one place goroutines may be spawned.
+package parallel
+
+// ForEach runs fn(i) for each i on its own goroutine — allowed here.
+func ForEach(n int, fn func(int)) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			fn(i)
+			done <- struct{}{}
+		}(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}

@@ -1,0 +1,11 @@
+// Package rng is a pbolint fixture: its import path ends in
+// internal/rng, the one place math/rand imports are allowed.
+package rng
+
+import "math/rand/v2"
+
+// Stream wraps the stdlib generator.
+type Stream struct{ r *rand.Rand }
+
+// New seeds a stream.
+func New(a, b uint64) *Stream { return &Stream{r: rand.New(rand.NewPCG(a, b))} }

@@ -1,0 +1,25 @@
+// Package noprint is a pbolint fixture: direct stdout/stderr output from
+// an internal library package must be reported.
+package noprint
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// Out leaks the process stdout into library state.
+var Out io.Writer = os.Stdout
+
+// Chatty prints from library code, three different ways.
+func Chatty(x float64) string {
+	fmt.Println("solving...")
+	log.Printf("x = %v", x)
+	return Describe(x)
+}
+
+// Describe is compliant: it returns the text instead of printing it.
+func Describe(x float64) string {
+	return fmt.Sprintf("x = %v", x)
+}

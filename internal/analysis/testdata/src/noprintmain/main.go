@@ -1,0 +1,9 @@
+// Command noprintmain is a pbolint fixture: package main may print —
+// presentation is exactly what cmd/ binaries are for.
+package main
+
+import "fmt"
+
+func main() {
+	fmt.Println("binaries may print")
+}

@@ -1,0 +1,19 @@
+// Package norand is a pbolint fixture: raw math/rand imports outside
+// internal/rng must be reported; a reasoned //lint:ignore silences one.
+package norand
+
+import (
+	mrand "math/rand"
+	"math/rand/v2"
+
+	//lint:ignore norand fixture: suppressed legacy import
+	orand "math/rand"
+)
+
+// Draw uses all three imports so the file compiles.
+func Draw() (float64, float64, float64) {
+	legacy := mrand.New(mrand.NewSource(1))
+	allowed := orand.New(orand.NewSource(2))
+	modern := rand.New(rand.NewPCG(3, 4))
+	return legacy.Float64(), allowed.Float64(), modern.Float64()
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/fp"
 	"repro/internal/rng"
 )
 
@@ -77,7 +78,7 @@ func (c *Config) withDefaults() Config {
 	}
 	if d.WeightDecay < 0 {
 		d.WeightDecay = 0
-	} else if d.WeightDecay == 0 {
+	} else if fp.Zero(d.WeightDecay) {
 		d.WeightDecay = 1e-4
 	}
 	if d.Batch <= 0 {

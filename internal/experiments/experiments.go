@@ -136,8 +136,13 @@ func runStudy(problem *core.Problem, cfg StudyConfig) (*StudyResult, error) {
 				}
 				res.Runs[RunKey{alg, q, rep}] = run
 				if cfg.Progress != nil {
-					fmt.Fprintf(cfg.Progress, "%s %-15s q=%-2d rep=%d best=%10.2f cycles=%3d evals=%4d\n",
+					_, werr := fmt.Fprintf(cfg.Progress, "%s %-15s q=%-2d rep=%d best=%10.2f cycles=%3d evals=%4d\n",
 						problem.Name, alg, q, rep, run.BestY, run.Cycles, run.Evals)
+					if werr != nil {
+						// Progress is best-effort; a dead writer must not
+						// abort a long study, so stop writing to it.
+						cfg.Progress = nil
+					}
 				}
 			}
 		}

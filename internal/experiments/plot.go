@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/fp"
 )
 
 // AsciiPlot renders one or more named series as a fixed-size ASCII chart —
@@ -63,7 +65,7 @@ func (p *AsciiPlot) Render() string {
 		b.WriteString("(no data)\n")
 		return b.String()
 	}
-	if hi == lo {
+	if fp.Exact(hi, lo) {
 		hi = lo + 1
 	}
 

@@ -1,0 +1,61 @@
+package fp
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{1, 1, true},
+		{1, 1 + 1e-14, true},
+		{1, 1 + 1e-9, false},
+		{0, 1e-13, true},
+		{0, 1e-9, false},
+		{1e300, 1e300 * (1 + 1e-14), true},
+		{1e300, 1.001e300, false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.Inf(1), 1e308, false},
+		{math.NaN(), math.NaN(), false},
+		{math.NaN(), 1, false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestEqTol(t *testing.T) {
+	if !EqTol(1, 1.05, 0.1) {
+		t.Error("EqTol(1, 1.05, 0.1) = false, want true")
+	}
+	if EqTol(1, 1.5, 0.1) {
+		t.Error("EqTol(1, 1.5, 0.1) = true, want false")
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(math.Copysign(0, -1)) {
+		t.Error("Zero should accept both signed zeros")
+	}
+	if Zero(1e-300) || Zero(math.NaN()) {
+		t.Error("Zero accepted a non-zero")
+	}
+}
+
+func TestExact(t *testing.T) {
+	if !Exact(1.5, 1.5) || Exact(1.5, 1.5000001) {
+		t.Error("Exact mismatch on plain values")
+	}
+	if !Exact(0, math.Copysign(0, -1)) {
+		t.Error("Exact(-0, +0) = false, want true (IEEE ==)")
+	}
+	if Exact(math.NaN(), math.NaN()) {
+		t.Error("Exact(NaN, NaN) = true, want false")
+	}
+}

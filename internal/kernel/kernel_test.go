@@ -2,19 +2,20 @@ package kernel
 
 import (
 	"math"
-	"math/rand/v2"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/rng"
 )
 
 func kernels(dim int) []Kernel {
 	return []Kernel{NewMatern52(dim), NewMatern32(dim), NewSE(dim)}
 }
 
-func randPoint(rng *rand.Rand, d int) []float64 {
+func randPoint(stream *rng.Stream, d int) []float64 {
 	x := make([]float64, d)
 	for i := range x {
-		x[i] = rng.NormFloat64()
+		x[i] = stream.Norm()
 	}
 	return x
 }
@@ -30,10 +31,10 @@ func TestKernelAtZeroDistance(t *testing.T) {
 }
 
 func TestKernelSymmetry(t *testing.T) {
-	rng := rand.New(rand.NewPCG(1, 1))
+	stream := rng.New(1, 1)
 	for _, k := range kernels(5) {
 		for i := 0; i < 20; i++ {
-			x, y := randPoint(rng, 5), randPoint(rng, 5)
+			x, y := randPoint(stream, 5), randPoint(stream, 5)
 			if !almostEq(k.Eval(x, y), k.Eval(y, x), 1e-14) {
 				t.Fatalf("%s not symmetric", k.Name())
 			}
@@ -55,10 +56,10 @@ func TestKernelDecreasing(t *testing.T) {
 }
 
 func TestKernelPositive(t *testing.T) {
-	rng := rand.New(rand.NewPCG(2, 2))
+	stream := rng.New(2, 2)
 	for _, k := range kernels(3) {
 		for i := 0; i < 50; i++ {
-			x, y := randPoint(rng, 3), randPoint(rng, 3)
+			x, y := randPoint(stream, 3), randPoint(stream, 3)
 			if k.Eval(x, y) <= 0 {
 				t.Fatalf("%s produced non-positive covariance", k.Name())
 			}
@@ -125,11 +126,11 @@ func TestLengthscalesHelper(t *testing.T) {
 
 // Gradients w.r.t. log-hyperparameters must match central finite differences.
 func TestHyperGradFiniteDiff(t *testing.T) {
-	rng := rand.New(rand.NewPCG(3, 3))
+	stream := rng.New(3, 3)
 	for _, k := range kernels(4) {
 		p0 := []float64{0.3, -0.2, 0.1, 0.4, -0.5}
 		k.SetParams(p0)
-		x, y := randPoint(rng, 4), randPoint(rng, 4)
+		x, y := randPoint(stream, 4), randPoint(stream, 4)
 		grad := make([]float64, k.NumParams())
 		k.EvalWithGrad(x, y, grad)
 		const h = 1e-6
@@ -152,11 +153,11 @@ func TestHyperGradFiniteDiff(t *testing.T) {
 
 // Gradients w.r.t. x must match central finite differences.
 func TestGradXFiniteDiff(t *testing.T) {
-	rng := rand.New(rand.NewPCG(4, 4))
+	stream := rng.New(4, 4)
 	for _, k := range kernels(3) {
 		k.SetParams([]float64{0.2, -0.3, 0.1, 0.25})
 		for trial := 0; trial < 10; trial++ {
-			x, y := randPoint(rng, 3), randPoint(rng, 3)
+			x, y := randPoint(stream, 3), randPoint(stream, 3)
 			grad := make([]float64, 3)
 			k.GradX(x, y, grad)
 			const h = 1e-6
@@ -190,10 +191,10 @@ func TestGradXAtZeroFinite(t *testing.T) {
 }
 
 func TestEvalWithGradMatchesEval(t *testing.T) {
-	rng := rand.New(rand.NewPCG(5, 5))
+	stream := rng.New(5, 5)
 	for _, k := range kernels(4) {
 		for i := 0; i < 10; i++ {
-			x, y := randPoint(rng, 4), randPoint(rng, 4)
+			x, y := randPoint(stream, 4), randPoint(stream, 4)
 			grad := make([]float64, k.NumParams())
 			v1 := k.EvalWithGrad(x, y, grad)
 			v2 := k.Eval(x, y)
@@ -209,10 +210,10 @@ func TestEvalWithGradMatchesEval(t *testing.T) {
 // the 2×2 determinant inequality |k(x,y)| <= sqrt(k(x,x)k(y,y))).
 func TestCauchySchwarzProperty(t *testing.T) {
 	f := func(seed uint64) bool {
-		rng := rand.New(rand.NewPCG(seed, 11))
+		stream := rng.New(seed, 11)
 		for _, k := range kernels(3) {
-			k.SetParams([]float64{rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3, rng.NormFloat64() * 0.3})
-			x, y := randPoint(rng, 3), randPoint(rng, 3)
+			k.SetParams([]float64{stream.Norm() * 0.3, stream.Norm() * 0.3, stream.Norm() * 0.3, stream.Norm() * 0.3})
+			x, y := randPoint(stream, 3), randPoint(stream, 3)
 			kxy := k.Eval(x, y)
 			bound := math.Sqrt(k.Eval(x, x)*k.Eval(y, y)) * (1 + 1e-12)
 			if math.Abs(kxy) > bound {
@@ -242,8 +243,8 @@ func almostEq(a, b, tol float64) bool {
 
 func BenchmarkMatern52Eval(b *testing.B) {
 	k := NewMatern52(12)
-	rng := rand.New(rand.NewPCG(1, 1))
-	x, y := randPoint(rng, 12), randPoint(rng, 12)
+	stream := rng.New(1, 1)
+	x, y := randPoint(stream, 12), randPoint(stream, 12)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		k.Eval(x, y)

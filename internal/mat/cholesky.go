@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/fp"
 )
 
 // ErrNotPositiveDefinite is returned when a matrix cannot be factorized even
@@ -48,7 +50,7 @@ func NewCholesky(a *Dense, startJitter, maxJitter float64) (*Cholesky, error) {
 			c.jitter = jitter
 			return c, nil
 		}
-		if jitter == 0 {
+		if fp.Zero(jitter) {
 			jitter = startJitter
 		} else {
 			jitter *= 100 // escalate fast: every retry is a full O(n³) pass

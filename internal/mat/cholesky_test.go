@@ -2,6 +2,7 @@ package mat
 
 import (
 	"math"
+	//lint:ignore norand in-package mat tests cannot import repro/internal/rng (rng depends on mat); the raw PCG here is still fixed-seed deterministic
 	"math/rand/v2"
 	"testing"
 	"testing/quick"
@@ -197,7 +198,10 @@ func TestCholeskyExtendSolveConsistency(t *testing.T) {
 			cc.Set(i, j, full.At(6+i, 6+j))
 		}
 	}
-	ca, _ := NewCholesky(a, 0, 0)
+	ca, err := NewCholesky(a, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ext, err := ca.Extend(b, cc)
 	if err != nil {
 		t.Fatal(err)
@@ -288,7 +292,10 @@ func BenchmarkCholeskyExtend100x4(b *testing.B) {
 			cc.Set(i, j, full.At(100+i, 100+j))
 		}
 	}
-	ca, _ := NewCholesky(a, 0, 0)
+	ca, err := NewCholesky(a, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := ca.Extend(bb, cc); err != nil {

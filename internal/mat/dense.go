@@ -2,13 +2,16 @@
 // process regression: row-major matrices, vectors, Cholesky factorization
 // with adaptive jitter, incremental Cholesky extension, and triangular
 // solves. It is deliberately small — only what the BO stack requires — and
-// depends on nothing outside the standard library.
+// depends on nothing outside the standard library and the internal/fp
+// comparison helpers.
 package mat
 
 import (
 	"fmt"
 	"math"
 	"strings"
+
+	"repro/internal/fp"
 )
 
 // Dense is a row-major dense matrix.
@@ -147,7 +150,7 @@ func Mul(a, b *Dense) *Dense {
 		orow := out.Row(i)
 		for k := 0; k < a.cols; k++ {
 			aik := arow[k]
-			if aik == 0 {
+			if fp.Zero(aik) {
 				continue
 			}
 			brow := b.Row(k)
@@ -179,7 +182,7 @@ func MulVecT(a *Dense, x []float64) []float64 {
 	out := make([]float64, a.cols)
 	for i := 0; i < a.rows; i++ {
 		xi := x[i]
-		if xi == 0 {
+		if fp.Zero(xi) {
 			continue
 		}
 		row := a.Row(i)
@@ -207,7 +210,7 @@ func Norm2(x []float64) float64 {
 	// Scaled accumulation avoids overflow for large components.
 	var scale, ssq float64 = 0, 1
 	for _, v := range x {
-		if v == 0 {
+		if fp.Zero(v) {
 			continue
 		}
 		a := math.Abs(v)

@@ -2,6 +2,7 @@ package mat
 
 import (
 	"math"
+	//lint:ignore norand in-package mat tests cannot import repro/internal/rng (rng depends on mat); the raw PCG here is still fixed-seed deterministic
 	"math/rand/v2"
 	"testing"
 	"testing/quick"

@@ -3,9 +3,9 @@ package optim
 import (
 	"fmt"
 	"runtime"
-	"sync"
 
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -28,24 +28,13 @@ func (m *MultiStart) Run(f GradObjective, starts [][]float64, lo, hi []float64) 
 		panic("optim: MultiStart requires a local optimizer")
 	}
 	results := make([]Result, len(starts))
-	if m.Parallel && len(starts) > 1 {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for i, s := range starts {
-			wg.Add(1)
-			go func(i int, s []float64) {
-				defer wg.Done()
-				sem <- struct{}{}
-				defer func() { <-sem }()
-				results[i] = m.Local.Minimize(f, s, lo, hi)
-			}(i, s)
-		}
-		wg.Wait()
-	} else {
-		for i, s := range starts {
-			results[i] = m.Local.Minimize(f, s, lo, hi)
-		}
+	workers := 1
+	if m.Parallel {
+		workers = runtime.GOMAXPROCS(0)
 	}
+	parallel.ForEach(workers, len(starts), func(i int) {
+		results[i] = m.Local.Minimize(f, starts[i], lo, hi)
+	})
 	best := results[0]
 	evals, iters := 0, 0
 	for _, r := range results {

@@ -118,6 +118,43 @@ func (p *Pool) EvalBatch(ev Evaluator, xs [][]float64) BatchResult {
 	return BatchResult{Y: ys, Virtual: virtual, Real: time.Since(start)}
 }
 
+// ForEach runs fn(i) for every i in [0,n) on at most workers goroutines
+// and returns when all calls have finished. workers <= 0 means one
+// goroutine per index. Index assignment is deterministic (worker w takes
+// i = w, w+workers, ...), so callers that pre-split rng streams per index
+// replay bit-identically regardless of scheduling.
+//
+// This is the only sanctioned way to spawn goroutines outside this
+// package: the godiscipline analyzer (cmd/pbolint) rejects bare go
+// statements elsewhere, keeping the batch size q the single parallelism
+// knob of the system. fn must write only to per-index state; ForEach
+// provides no locking.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 // LinearOverhead returns an overhead model base + perEval·q, matching the
 // paper's observation that the simulator's interfacing overhead grows with
 // the number of parallel calls.

@@ -1,6 +1,7 @@
 package parallel
 
 import (
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -97,5 +98,48 @@ func TestLinearOverhead(t *testing.T) {
 	f := LinearOverhead(time.Second, 100*time.Millisecond)
 	if f(4) != time.Second+400*time.Millisecond {
 		t.Fatalf("overhead(4) = %v", f(4))
+	}
+}
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{-1, 0, 1, 2, 3, 7, 64} {
+		n := 23
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 24
+	var cur, peak int32
+	ForEach(workers, n, func(int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > workers {
+		t.Fatalf("observed %d concurrent calls, worker bound is %d", peak, workers)
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	ran := false
+	ForEach(4, 0, func(int) { ran = true })
+	ForEach(4, -3, func(int) { ran = true })
+	if ran {
+		t.Fatal("fn ran for n <= 0")
 	}
 }

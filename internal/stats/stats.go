@@ -7,6 +7,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/fp"
 )
 
 // Summary is the descriptive statistics block the paper reports per
@@ -79,9 +81,9 @@ func WelchTTest(a, b []float64) (TTestResult, error) {
 	na, nb := float64(sa.N), float64(sb.N)
 	va, vb := sa.SD*sa.SD, sb.SD*sb.SD
 	se2 := va/na + vb/nb
-	if se2 == 0 {
+	if fp.Zero(se2) {
 		// Identical constant samples: no evidence of difference.
-		if sa.Mean == sb.Mean {
+		if fp.Exact(sa.Mean, sb.Mean) {
 			return TTestResult{T: 0, DF: na + nb - 2, P: 1}, nil
 		}
 		return TTestResult{T: math.Inf(sign(sa.Mean - sb.Mean)), DF: na + nb - 2, P: 0}, nil
@@ -102,8 +104,8 @@ func PooledTTest(a, b []float64) (TTestResult, error) {
 	df := na + nb - 2
 	sp2 := ((na-1)*sa.SD*sa.SD + (nb-1)*sb.SD*sb.SD) / df
 	se := math.Sqrt(sp2 * (1/na + 1/nb))
-	if se == 0 {
-		if sa.Mean == sb.Mean {
+	if fp.Zero(se) {
+		if fp.Exact(sa.Mean, sb.Mean) {
 			return TTestResult{T: 0, DF: df, P: 1}, nil
 		}
 		return TTestResult{T: math.Inf(sign(sa.Mean - sb.Mean)), DF: df, P: 0}, nil

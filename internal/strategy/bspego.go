@@ -2,12 +2,12 @@ package strategy
 
 import (
 	"sort"
-	"sync"
 
 	"repro/internal/acq"
 	"repro/internal/core"
 	"repro/internal/gp"
 	"repro/internal/mat"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -124,17 +124,19 @@ func (s *BSPEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream
 	// Local acquisition in every leaf, in parallel: a single-point EI on
 	// the global model restricted to the leaf's box. This is the
 	// parallel-AP property that gives BSP-EGO its scalability (Fig. 2).
-	var wg sync.WaitGroup
-	for i, leaf := range s.leaves {
-		wg.Add(1)
-		go func(i int, leaf *bspNode) {
-			defer wg.Done()
-			ei := &acq.EI{Best: st.BestY, Minimize: p.Minimize}
-			x, v := s.Opt.Maximize(model, ei, leaf.lo, leaf.hi, nil, stream.Split(uint64(i)))
-			leaf.bestX, leaf.score = x, v
-		}(i, leaf)
+	// Streams are split serially before the parallel region — Split
+	// advances the parent stream's state, so calling it from worker
+	// goroutines would be both a data race and a replay hazard.
+	streams := make([]*rng.Stream, len(s.leaves))
+	for i := range streams {
+		streams[i] = stream.Split(uint64(i))
 	}
-	wg.Wait()
+	parallel.ForEach(0, len(s.leaves), func(i int) {
+		leaf := s.leaves[i]
+		ei := &acq.EI{Best: st.BestY, Minimize: p.Minimize}
+		x, v := s.Opt.Maximize(model, ei, leaf.lo, leaf.hi, nil, streams[i])
+		leaf.bestX, leaf.score = x, v
+	})
 
 	// Rank candidates by infill value and keep the top q.
 	order := make([]int, len(s.leaves))

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/acq"
 	"repro/internal/core"
+	"repro/internal/fp"
 	"repro/internal/gp"
 	"repro/internal/rng"
 )
@@ -175,7 +176,7 @@ func (s *TuRBO) Observe(st *core.State, xs [][]float64, ys []float64) {
 
 	improved := false
 	for _, y := range ys {
-		if y == st.BestY {
+		if fp.Exact(y, st.BestY) {
 			improved = true
 			break
 		}

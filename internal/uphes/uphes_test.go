@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/rng"
 )
 
@@ -77,8 +78,14 @@ func TestDeterministicProfit(t *testing.T) {
 func TestSeedChangesScenarios(t *testing.T) {
 	c1, c2 := DefaultConfig(), DefaultConfig()
 	c2.Seed++
-	s1, _ := New(c1)
-	s2, _ := New(c2)
+	s1, err := New(c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(c2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	x := []float64{-8, -8, 8, 0, 0, 0, 8, 0, 0, 1, 1, 0}
 	if s1.Profit(x) == s2.Profit(x) {
 		t.Fatal("different seeds gave identical profit")
@@ -245,15 +252,13 @@ func TestConcurrentEvaluationsRaceFree(t *testing.T) {
 		xs[i] = stream.UniformVec(lo, hi)
 		want[i] = s.Profit(xs[i])
 	}
-	done := make(chan bool, len(xs))
+	got := make([]float64, len(xs))
+	parallel.ForEach(0, len(xs), func(i int) {
+		got[i] = s.Profit(xs[i])
+	})
 	for i := range xs {
-		go func(i int) {
-			done <- s.Profit(xs[i]) == want[i]
-		}(i)
-	}
-	for range xs {
-		if !<-done {
-			t.Fatal("concurrent evaluation produced different value")
+		if got[i] != want[i] {
+			t.Fatalf("concurrent evaluation %d produced %v, want %v", i, got[i], want[i])
 		}
 	}
 }

@@ -81,9 +81,12 @@ func TestOptimizeEndToEnd(t *testing.T) {
 }
 
 func TestOptimizeDefaultsStrategy(t *testing.T) {
-	p, _ := CustomProblem("sphere1",
+	p, err := CustomProblem("sphere1",
 		func(x []float64) float64 { return x[0] * x[0] },
 		[]float64{-1}, []float64{1}, true, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Optimize(p, Options{BatchSize: 2, InitSamples: 6, Budget: 30 * time.Second, OverheadFactor: 1, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
@@ -94,8 +97,11 @@ func TestOptimizeDefaultsStrategy(t *testing.T) {
 }
 
 func TestOptimizeUnknownStrategy(t *testing.T) {
-	p, _ := CustomProblem("s", func(x []float64) float64 { return 0 },
+	p, err := CustomProblem("s", func(x []float64) float64 { return 0 },
 		[]float64{0}, []float64{1}, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := Optimize(p, Options{Strategy: "nope"}); err == nil {
 		t.Fatal("expected error")
 	}
@@ -117,8 +123,11 @@ func TestExtendedStrategiesAccepted(t *testing.T) {
 	if len(names) != 3 {
 		t.Fatalf("extended strategies = %v", names)
 	}
-	p, _ := CustomProblem("s1", func(x []float64) float64 { return x[0] * x[0] },
+	p, err := CustomProblem("s1", func(x []float64) float64 { return x[0] * x[0] },
 		[]float64{-1}, []float64{1}, true, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Optimize(p, Options{
 		Strategy: "TS-RFF", BatchSize: 2, InitSamples: 6,
 		Budget: 30 * time.Second, OverheadFactor: 1, Seed: 2,
@@ -132,8 +141,11 @@ func TestExtendedStrategiesAccepted(t *testing.T) {
 }
 
 func TestSaveLoadResult(t *testing.T) {
-	p, _ := CustomProblem("s2", func(x []float64) float64 { return x[0] * x[0] },
+	p, err := CustomProblem("s2", func(x []float64) float64 { return x[0] * x[0] },
 		[]float64{-1}, []float64{1}, true, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := Optimize(p, Options{BatchSize: 2, InitSamples: 4, Budget: 20 * time.Second, OverheadFactor: 1, Seed: 3})
 	if err != nil {
 		t.Fatal(err)

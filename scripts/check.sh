@@ -1,0 +1,33 @@
+#!/bin/sh
+# check.sh — the single local/CI verification gate (tier-1+).
+#
+# Runs, in order: formatting, vet, build, the project's own invariant
+# linter (cmd/pbolint), and the full test suite under the race detector.
+# Any failure stops the gate with a nonzero exit.
+#
+# Usage: ./scripts/check.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: needs formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== pbolint ./..."
+go run ./cmd/pbolint ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all gates passed"
