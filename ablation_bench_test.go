@@ -6,6 +6,7 @@
 package pbo
 
 import (
+	"context"
 	"fmt"
 	"testing"
 	"time"
@@ -34,7 +35,7 @@ func ablationRun(b *testing.B, s core.Strategy, model core.ModelConfig, seed uin
 		Model:     model,
 		Seed:      seed,
 	}
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,11 +1,12 @@
 // Command pbolint enforces the project's determinism, parallelism and
-// numeric-safety invariants with five stdlib-only static analyzers:
+// numeric-safety invariants with six stdlib-only static analyzers:
 //
 //	norand        randomness flows through internal/rng streams only
 //	noprint       internal/ library packages never print
 //	floatcmp      no ==/!= on floats outside internal/fp helpers
 //	godiscipline  no bare go statements outside internal/parallel
 //	errcheck      no discarded error returns
+//	ctxfirst      context.Context first in signatures, never in structs
 //
 // Usage:
 //

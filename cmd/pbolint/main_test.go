@@ -29,8 +29,8 @@ func TestCLIOverFixtures(t *testing.T) {
 	got := splitLines(stdout.String())
 	var want []string
 	goldens, err := filepath.Glob(filepath.Join(fixtureRoot, "*.golden"))
-	if err != nil || len(goldens) != 5 {
-		t.Fatalf("found %d golden files (err %v), want 5", len(goldens), err)
+	if err != nil || len(goldens) != 6 {
+		t.Fatalf("found %d golden files (err %v), want 6", len(goldens), err)
 	}
 	for _, g := range goldens {
 		data, err := os.ReadFile(g)
@@ -111,7 +111,7 @@ func TestCLIList(t *testing.T) {
 	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
 		t.Fatalf("-list exit code = %d, want 0", code)
 	}
-	for _, name := range []string{"norand", "noprint", "floatcmp", "godiscipline", "errcheck"} {
+	for _, name := range []string{"norand", "noprint", "floatcmp", "godiscipline", "errcheck", "ctxfirst"} {
 		if !strings.Contains(stdout.String(), name) {
 			t.Errorf("-list output missing %s", name)
 		}

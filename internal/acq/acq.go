@@ -12,20 +12,21 @@ package acq
 import (
 	"fmt"
 
-	"repro/internal/gp"
 	"repro/internal/mat"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
-// Acquisition scores a single candidate point under a GP posterior.
+// Acquisition scores a single candidate point under a surrogate posterior
+// (the paper's GP, or any other surrogate.Surrogate).
 type Acquisition interface {
 	// Name identifies the criterion (for logging and Table 3).
 	Name() string
 	// Eval returns the utility of x.
-	Eval(g *gp.GP, x []float64) float64
+	Eval(g surrogate.Surrogate, x []float64) float64
 	// EvalWithGrad returns the utility and writes its gradient w.r.t. x
 	// into grad (length = dim).
-	EvalWithGrad(g *gp.GP, x, grad []float64) float64
+	EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64
 }
 
 // EI is the Expected Improvement criterion of Jones et al. (EGO).
@@ -43,14 +44,14 @@ type EI struct {
 func (e *EI) Name() string { return "EI" }
 
 // Eval implements Acquisition.
-func (e *EI) Eval(g *gp.GP, x []float64) float64 {
+func (e *EI) Eval(g surrogate.Surrogate, x []float64) float64 {
 	mu, sd := g.Predict(x)
 	v, _ := eiValue(mu, sd, e.Best, e.Minimize, e.Xi)
 	return v
 }
 
 // EvalWithGrad implements Acquisition.
-func (e *EI) EvalWithGrad(g *gp.GP, x, grad []float64) float64 {
+func (e *EI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
 	mu, sd, dMu, dSD := g.PredictWithGrad(x)
 	v, partial := eiValue(mu, sd, e.Best, e.Minimize, e.Xi)
 	// partial = (∂EI/∂μ', ∂EI/∂σ) where μ' is the signed improvement mean.
@@ -109,7 +110,7 @@ func (u *UCB) beta() float64 {
 }
 
 // Eval implements Acquisition.
-func (u *UCB) Eval(g *gp.GP, x []float64) float64 {
+func (u *UCB) Eval(g surrogate.Surrogate, x []float64) float64 {
 	mu, sd := g.Predict(x)
 	if u.Minimize {
 		return -mu + u.beta()*sd
@@ -118,7 +119,7 @@ func (u *UCB) Eval(g *gp.GP, x []float64) float64 {
 }
 
 // EvalWithGrad implements Acquisition.
-func (u *UCB) EvalWithGrad(g *gp.GP, x, grad []float64) float64 {
+func (u *UCB) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
 	mu, sd, dMu, dSD := g.PredictWithGrad(x)
 	sign := 1.0
 	if u.Minimize {
@@ -148,13 +149,13 @@ type PI struct {
 func (p *PI) Name() string { return "PI" }
 
 // Eval implements Acquisition.
-func (p *PI) Eval(g *gp.GP, x []float64) float64 {
+func (p *PI) Eval(g surrogate.Surrogate, x []float64) float64 {
 	mu, sd := g.Predict(x)
 	return piValue(mu, sd, p.Best, p.Minimize, p.Xi)
 }
 
 // EvalWithGrad implements Acquisition.
-func (p *PI) EvalWithGrad(g *gp.GP, x, grad []float64) float64 {
+func (p *PI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
 	mu, sd, dMu, dSD := g.PredictWithGrad(x)
 	var m float64
 	if p.Minimize {
@@ -241,7 +242,7 @@ func (e *QEI) Name() string { return "qEI" }
 
 // EvalBatch returns the MC estimate of qEI for the batch xs (len q). The
 // batch posterior comes from a single joint GP prediction.
-func (e *QEI) EvalBatch(g *gp.GP, xs [][]float64) float64 {
+func (e *QEI) EvalBatch(g surrogate.Surrogate, xs [][]float64) float64 {
 	if len(xs) != e.q {
 		panic(fmt.Sprintf("acq: qEI batch size %d != %d", len(xs), e.q))
 	}
@@ -279,7 +280,7 @@ func (e *QEI) EvalBatch(g *gp.GP, xs [][]float64) float64 {
 	return acc / float64(len(e.base))
 }
 
-func (e *QEI) diagonalFallback(g *gp.GP, xs [][]float64) float64 {
+func (e *QEI) diagonalFallback(g surrogate.Surrogate, xs [][]float64) float64 {
 	var acc float64
 	for _, z := range e.base {
 		best := 0.0
@@ -303,7 +304,7 @@ func (e *QEI) diagonalFallback(g *gp.GP, xs [][]float64) float64 {
 
 // FlatObjective adapts the batch criterion to a flattened q·d vector for
 // generic optimizers: the slice is interpreted as q concatenated points.
-func (e *QEI) FlatObjective(g *gp.GP, d int) func(flat []float64) float64 {
+func (e *QEI) FlatObjective(g surrogate.Surrogate, d int) func(flat []float64) float64 {
 	return func(flat []float64) float64 {
 		if len(flat) != e.q*d {
 			panic(fmt.Sprintf("acq: flat length %d != q·d = %d", len(flat), e.q*d))
@@ -318,7 +319,7 @@ func (e *QEI) FlatObjective(g *gp.GP, d int) func(flat []float64) float64 {
 
 // ThompsonSample draws one posterior sample over the candidate set and
 // returns the index of its best point (used as an auxiliary batch filler).
-func ThompsonSample(g *gp.GP, candidates [][]float64, minimize bool, stream *rng.Stream) (int, error) {
+func ThompsonSample(g surrogate.Surrogate, candidates [][]float64, minimize bool, stream *rng.Stream) (int, error) {
 	jp, err := g.PredictJoint(candidates)
 	if err != nil {
 		return 0, err

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"math"
 
-	"repro/internal/gp"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // ScaledEI is the scaled Expected Improvement of Noè & Husmeier (the
@@ -25,7 +25,7 @@ type ScaledEI struct {
 func (e *ScaledEI) Name() string { return "ScaledEI" }
 
 // Eval implements Acquisition.
-func (e *ScaledEI) Eval(g *gp.GP, x []float64) float64 {
+func (e *ScaledEI) Eval(g surrogate.Surrogate, x []float64) float64 {
 	mu, sd := g.Predict(x)
 	return scaledEIValue(mu, sd, e.Best, e.Minimize)
 }
@@ -55,7 +55,7 @@ func scaledEIValue(mu, sd, best float64, minimize bool) float64 {
 }
 
 // EvalWithGrad implements Acquisition via central finite differences.
-func (e *ScaledEI) EvalWithGrad(g *gp.GP, x, grad []float64) float64 {
+func (e *ScaledEI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
 	v := e.Eval(g, x)
 	const h = 1e-6
 	xh := append([]float64(nil), x...)
@@ -110,7 +110,7 @@ func (u *QUCB) Q() int { return u.q }
 func (u *QUCB) Name() string { return "qUCB" }
 
 // EvalBatch returns the MC estimate of qUCB for the batch xs (len q).
-func (u *QUCB) EvalBatch(g *gp.GP, xs [][]float64) float64 {
+func (u *QUCB) EvalBatch(g surrogate.Surrogate, xs [][]float64) float64 {
 	if len(xs) != u.q {
 		panic(fmt.Sprintf("acq: qUCB batch size %d != %d", len(xs), u.q))
 	}
@@ -165,7 +165,7 @@ func (u *QUCB) pointValue(mu, dev float64) float64 {
 }
 
 // FlatObjective adapts the batch criterion to a flattened q·d vector.
-func (u *QUCB) FlatObjective(g *gp.GP, d int) func(flat []float64) float64 {
+func (u *QUCB) FlatObjective(g surrogate.Surrogate, d int) func(flat []float64) float64 {
 	return func(flat []float64) float64 {
 		if len(flat) != u.q*d {
 			panic(fmt.Sprintf("acq: flat length %d != q·d = %d", len(flat), u.q*d))

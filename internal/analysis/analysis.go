@@ -1,5 +1,5 @@
 // Package analysis is a small stdlib-only static-analysis framework plus
-// the five project analyzers enforced by cmd/pbolint. The paper's
+// the six project analyzers enforced by cmd/pbolint. The paper's
 // experimental claims rest on bit-reproducible runs under a wall-clock
 // budget, which gives the codebase invariants that plain `go vet` cannot
 // check:
@@ -13,6 +13,8 @@
 //   - godiscipline: no bare `go` statements outside internal/parallel, so
 //     the batch size q stays the only parallelism knob.
 //   - errcheck: no discarded error returns, neither `_ =` nor bare calls.
+//   - ctxfirst: context.Context is always the first parameter and never
+//     stored in a struct field, keeping the cancellation path visible.
 //
 // The framework is deliberately tiny — go/parser, go/ast, go/token and
 // go/types only, no golang.org/x/tools — and supports per-line
@@ -74,9 +76,9 @@ type Analyzer struct {
 	Run  func(p *Pass)
 }
 
-// All returns the five project analyzers in stable order.
+// All returns the six project analyzers in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoRand, NoPrint, FloatCmp, GoDiscipline, ErrCheck}
+	return []*Analyzer{NoRand, NoPrint, FloatCmp, GoDiscipline, ErrCheck, CtxFirst}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.

@@ -25,6 +25,7 @@ var goldenCases = []struct {
 	{FloatCmp, []string{"testdata/src/floatcmp", "testdata/src/internal/fp"}},
 	{GoDiscipline, []string{"testdata/src/godiscipline", "testdata/src/internal/parallel"}},
 	{ErrCheck, []string{"testdata/src/errcheck"}},
+	{CtxFirst, []string{"testdata/src/ctxfirst"}},
 }
 
 func TestAnalyzersGolden(t *testing.T) {
@@ -128,8 +129,8 @@ func TestSuppressionRequiresReason(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := ByName("norand, errcheck")
 	if err != nil || len(two) != 2 || two[0] != NoRand || two[1] != ErrCheck {

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFirst enforces the project's context-plumbing conventions, introduced
+// when cancellation was threaded through the engine: a context.Context is
+// always the first parameter of a function, method or function literal,
+// and is never stored in a struct field. Contexts are call-scoped — a
+// context squirreled away in a struct outlives the call it belongs to,
+// which breaks the engine's "cancellation stops the run within one cycle"
+// guarantee and hides the cancellation path from readers.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "context.Context is the first parameter and never a struct field",
+	Run:  runCtxFirst,
+}
+
+// isContextType reports whether t is context.Context (through aliases).
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+func runCtxFirst(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncType:
+				checkCtxParams(p, n)
+			case *ast.StructType:
+				checkCtxFields(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams reports context parameters that are not the first
+// parameter. Signatures of methods count parameters after the receiver.
+func checkCtxParams(p *Pass, ft *ast.FuncType) {
+	if ft.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range ft.Params.List {
+		names := len(field.Names)
+		if names == 0 {
+			names = 1
+		}
+		if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) && idx > 0 {
+			p.Reportf(field.Pos(), "context.Context is parameter %d: pass it first, or //lint:ignore ctxfirst <reason>", idx+1)
+		}
+		idx += names
+	}
+}
+
+// checkCtxFields reports struct fields of type context.Context.
+func checkCtxFields(p *Pass, st *ast.StructType) {
+	for _, field := range st.Fields.List {
+		if t := p.Info.TypeOf(field.Type); t != nil && isContextType(t) {
+			p.Reportf(field.Pos(), "context.Context stored in a struct field: contexts are call-scoped, pass one per call, or //lint:ignore ctxfirst <reason>")
+		}
+	}
+}

@@ -1,0 +1,47 @@
+// Package ctxfirst is a pbolint fixture: context.Context parameters that
+// are not first — in functions, methods, function literals and interface
+// methods — and contexts stored in struct fields must be reported;
+// ctx-first signatures, context-free code and a reasoned suppression stay
+// silent.
+package ctxfirst
+
+import "context"
+
+// FireLate takes its context second — reported.
+func FireLate(x int, ctx context.Context) error {
+	return ctx.Err()
+}
+
+// fireBag stores a context in a field — reported.
+type fireBag struct {
+	ctx context.Context
+	n   int
+}
+
+// FireLit is a function literal with a trailing context — reported.
+var FireLit = func(n int, ctx context.Context) error { return ctx.Err() }
+
+// FireIface declares an interface method with a late context — reported.
+type FireIface interface {
+	Do(x int, ctx context.Context) error
+}
+
+// Quiet takes its context first — silent.
+func Quiet(ctx context.Context, x int) error { return ctx.Err() }
+
+// worker is context-free — silent.
+type worker struct{ n int }
+
+// Run is a method with its context first — silent.
+func (w worker) Run(ctx context.Context, x int) error { return ctx.Err() }
+
+// FireSuppressed keeps a legacy callback signature under a reasoned
+// suppression — silent.
+//
+//lint:ignore ctxfirst fixture: legacy callback signature kept for compatibility
+func FireSuppressed(x int, ctx context.Context) error { return ctx.Err() }
+
+// use keeps the otherwise-unreferenced fixture declarations alive.
+func use(b fireBag) int { return b.n + worker{}.n }
+
+var _ = use

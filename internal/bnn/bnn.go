@@ -18,7 +18,9 @@ import (
 	"math"
 
 	"repro/internal/fp"
+	"repro/internal/mat"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // Config controls ensemble training.
@@ -231,6 +233,9 @@ type Ensemble struct {
 	cfg         Config
 	nets        []*mlp
 	ymean, ystd float64
+
+	xs [][]float64 // raw training inputs (cloned)
+	ys []float64   // raw training outputs
 }
 
 // ErrEmptyData is returned when fitting with no observations.
@@ -305,6 +310,13 @@ func Fit(xs [][]float64, ys []float64, cfg Config) (*Ensemble, error) {
 		}
 		e.nets = append(e.nets, net)
 	}
+	// Retain the raw data: BestObserved needs it, and Info reports the
+	// training fit.
+	e.xs = make([][]float64, n)
+	for i, x := range xs {
+		e.xs[i] = mat.CloneVec(x)
+	}
+	e.ys = mat.CloneVec(ys)
 	return e, nil
 }
 
@@ -321,6 +333,40 @@ func meanStd(v []float64) (mean, std float64) {
 		std = math.Sqrt(std / (n - 1))
 	}
 	return mean, std
+}
+
+// forwardGrad runs the network and backpropagates d(output)/d(input),
+// reusing the trainStep delta recursion but stopping at the raw input
+// (which has no activation).
+func (m *mlp) forwardGrad(x []float64) (float64, []float64) {
+	nl := len(m.layers)
+	acts := make([][]float64, nl+1)
+	acts[0] = x
+	out := m.forward(x, acts)
+	delta := []float64{1}
+	for k := nl - 1; k >= 1; k-- {
+		l := m.layers[k]
+		prev := make([]float64, l.in)
+		for i := 0; i < l.in; i++ {
+			var s float64
+			for o := 0; o < l.out; o++ {
+				s += delta[o] * l.w[o*l.in+i]
+			}
+			a := acts[k][i] // tanh output of layer k-1
+			prev[i] = s * (1 - a*a)
+		}
+		delta = prev
+	}
+	l0 := m.layers[0]
+	g := make([]float64, l0.in)
+	for i := 0; i < l0.in; i++ {
+		var s float64
+		for o := 0; o < l0.out; o++ {
+			s += delta[o] * l0.w[o*l0.in+i]
+		}
+		g[i] = s
+	}
+	return out, g
 }
 
 // Members returns the ensemble size.
@@ -351,3 +397,144 @@ func (e *Ensemble) Predict(x []float64) (mean, sd float64) {
 	}
 	return e.ymean + e.ystd*mu, e.ystd * math.Sqrt(variance)
 }
+
+// normalizeInput maps a raw-space point to [-1,1]^d, the network's input
+// convention.
+func (e *Ensemble) normalizeInput(x []float64) []float64 {
+	d := len(e.cfg.Lo)
+	if len(x) != d {
+		panic(fmt.Sprintf("bnn: point dim %d != %d", len(x), d))
+	}
+	u := make([]float64, d)
+	for j := range x {
+		u[j] = 2*(x[j]-e.cfg.Lo[j])/(e.cfg.Hi[j]-e.cfg.Lo[j]) - 1
+	}
+	return u
+}
+
+// PredictWithGrad returns the ensemble mean and disagreement sd at a
+// raw-space point together with their analytic input gradients (tanh
+// networks are smooth, so backpropagation to the input is exact).
+func (e *Ensemble) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float64) {
+	d := len(e.cfg.Lo)
+	u := e.normalizeInput(x)
+	k := float64(len(e.nets))
+	var sum, sumsq float64
+	dMuU := make([]float64, d)
+	dSqU := make([]float64, d) // gradient of avg p², accumulated
+	for _, net := range e.nets {
+		p, g := net.forwardGrad(u)
+		sum += p
+		sumsq += p * p
+		for j := 0; j < d; j++ {
+			dMuU[j] += g[j] / k
+			dSqU[j] += 2 * p * g[j] / k
+		}
+	}
+	mu := sum / k
+	variance := sumsq/k - mu*mu
+	if variance < 1e-300 {
+		variance = 1e-300
+	}
+	sdStd := math.Sqrt(variance)
+	dMean = make([]float64, d)
+	dSD = make([]float64, d)
+	for j := 0; j < d; j++ {
+		du := 2 / (e.cfg.Hi[j] - e.cfg.Lo[j]) // chain rule u→x
+		dVarU := dSqU[j] - 2*mu*dMuU[j]
+		dMean[j] = e.ystd * dMuU[j] * du
+		dSD[j] = e.ystd * dVarU / (2 * sdStd) * du
+	}
+	return e.ymean + e.ystd*mu, e.ystd * sdStd, dMean, dSD
+}
+
+// PredictJoint returns the joint posterior over a batch of points, with
+// the covariance estimated empirically across ensemble members (the same
+// population normalization 1/M that Predict's variance uses). The
+// covariance has rank at most M−1, so the factorization relies on the
+// jittered Cholesky to shore up the null space.
+func (e *Ensemble) PredictJoint(xs [][]float64) (*surrogate.JointPrediction, error) {
+	q := len(xs)
+	if q == 0 {
+		panic("bnn: PredictJoint with no points")
+	}
+	nm := len(e.nets)
+	preds := mat.NewDense(nm, q, nil)
+	for i, x := range xs {
+		u := e.normalizeInput(x)
+		for m, net := range e.nets {
+			preds.Set(m, i, net.forward(u, nil))
+		}
+	}
+	k := float64(nm)
+	mu := make([]float64, q)
+	for i := 0; i < q; i++ {
+		var s float64
+		for m := 0; m < nm; m++ {
+			s += preds.At(m, i)
+		}
+		mu[i] = s / k
+	}
+	mean := make([]float64, q)
+	cov := mat.NewDense(q, q, nil)
+	scale := e.ystd * e.ystd
+	for i := 0; i < q; i++ {
+		mean[i] = e.ymean + e.ystd*mu[i]
+		for j := 0; j <= i; j++ {
+			var s float64
+			for m := 0; m < nm; m++ {
+				s += (preds.At(m, i) - mu[i]) * (preds.At(m, j) - mu[j])
+			}
+			c := scale * s / k
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	ch, err := mat.NewCholesky(cov, 1e-10, 1e-2)
+	if err != nil {
+		return nil, fmt.Errorf("bnn: joint covariance not PD: %w", err)
+	}
+	return &surrogate.JointPrediction{Mean: mean, CovChol: ch.L().Clone()}, nil
+}
+
+// Fantasize implements surrogate.Surrogate. A deep ensemble has no
+// tractable conditioning update short of retraining, so the operation is
+// unsupported; Kriging-Believer-style callers keep selecting on the
+// unconditioned model.
+func (e *Ensemble) Fantasize([]float64, float64) (surrogate.Surrogate, error) {
+	return nil, fmt.Errorf("bnn: fantasy conditioning requires retraining: %w", surrogate.ErrUnsupported)
+}
+
+// BestObserved returns the index, point and value of the best training
+// observation under the given optimization sense.
+func (e *Ensemble) BestObserved(minimize bool) (idx int, x []float64, y float64) {
+	idx = 0
+	y = e.ys[0]
+	for i, v := range e.ys {
+		if (minimize && v < y) || (!minimize && v > y) {
+			idx, y = i, v
+		}
+	}
+	return idx, mat.CloneVec(e.xs[idx]), y
+}
+
+// Info implements surrogate.Surrogate. Score is the negative training MSE
+// of the ensemble mean in raw output units.
+func (e *Ensemble) Info() surrogate.Info {
+	var mse float64
+	for i, x := range e.xs {
+		mu, _ := e.Predict(x)
+		d := mu - e.ys[i]
+		mse += d * d
+	}
+	mse /= float64(len(e.ys))
+	return surrogate.Info{
+		Family: "DeepEnsemble",
+		N:      len(e.ys),
+		Dim:    len(e.cfg.Lo),
+		Score:  -mse,
+	}
+}
+
+// The ensemble is a full surrogate.
+var _ surrogate.Surrogate = (*Ensemble)(nil)

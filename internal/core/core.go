@@ -1,15 +1,25 @@
 // Package core implements the paper's primary contribution: a
 // time-budgeted, batch-parallel Bayesian optimization engine. Each cycle
-// (i) fits a GP surrogate to all observations, (ii) runs a pluggable batch
-// acquisition process to select q candidates, and (iii) evaluates the
+// (i) fits a surrogate model to all observations, (ii) runs a pluggable
+// batch acquisition process to select q candidates, and (iii) evaluates the
 // batch in parallel. The engine runs against a virtual clock so that
 // 20-minute experiments with 10-second simulations replay in seconds while
 // reproducing the paper's time accounting, including the calibrated
 // overhead factor between this Go stack and the original Python/BoTorch
 // implementation (see DESIGN.md §2).
+//
+// The engine is model-agnostic: strategies consume the surrogate.Surrogate
+// interface, the per-cycle fit schedule lives behind ModelFactory (default:
+// the paper's GP with periodic hyperparameter refits), and strategies that
+// train their own surrogate (deep ensembles, random-feature models)
+// implement ModelProvider so their training is charged to FitTime. Runs are
+// cancellable: Engine.Run takes a context and, once cancelled, drains
+// in-flight evaluations, stops within the current cycle and returns the
+// partial Result together with an error wrapping ErrInterrupted.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -18,7 +28,13 @@ import (
 	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
+
+// ErrInterrupted is wrapped by the error Engine.Run returns when its
+// context is cancelled mid-run. The accompanying *Result is valid but
+// partial: it covers every cycle that completed before the interruption.
+var ErrInterrupted = errors.New("core: run interrupted")
 
 // Problem is a black-box optimization problem with box bounds.
 type Problem struct {
@@ -123,8 +139,13 @@ func (s *State) Observe(xs [][]float64, ys []float64) {
 type Strategy interface {
 	// Name identifies the AP (e.g. "KB-q-EGO").
 	Name() string
-	// Propose returns q candidate points inside the problem bounds.
-	Propose(model *gp.GP, st *State, q int, stream *rng.Stream) ([][]float64, error)
+	// Propose returns q candidate points inside the problem bounds. The
+	// surrogate is whatever the engine's fit phase produced — the paper's
+	// GP by default, or the strategy's own model when it implements
+	// ModelProvider. Cancelling ctx may end inner optimizer restarts
+	// early; Propose should then return promptly with whatever it has
+	// (the engine discards the batch and stops the run).
+	Propose(ctx context.Context, model surrogate.Surrogate, st *State, q int, stream *rng.Stream) ([][]float64, error)
 	// Observe notifies the strategy of the evaluated batch so it can
 	// evolve internal state (trust region, space partition). Called after
 	// State.Observe.
@@ -142,6 +163,99 @@ type Strategy interface {
 	APParallelism(q int) int
 }
 
+// ModelProvider is an optional Strategy capability. A strategy that trains
+// its own surrogate each cycle (BNN-GA's deep ensemble, TS-RFF's random
+// feature model) implements it; the engine then skips the engine-side fit
+// entirely and charges FitModel's wall time to the cycle's FitTime — the
+// paper's convention that model training is "fitting", whatever the model
+// family — instead of letting training leak into AcqTime inside Propose.
+// stream is a per-cycle substream of the engine's dedicated fit stream,
+// independent of the acquisition stream.
+type ModelProvider interface {
+	FitModel(ctx context.Context, st *State, cycle int, stream *rng.Stream) (surrogate.Surrogate, error)
+}
+
+// ModelFactory produces the engine-side surrogate each cycle. It owns the
+// warm-start policy across cycles (the default GP factory re-optimizes
+// hyperparameters every RefitEvery-th cycle and only re-factorizes in
+// between). Implementations may ignore ctx; the engine checks for
+// cancellation at phase boundaries.
+type ModelFactory interface {
+	// Fit returns the surrogate for the given 1-based cycle, trained on
+	// the current state.
+	Fit(ctx context.Context, st *State, cycle int) (surrogate.Surrogate, error)
+}
+
+// gpFactory is the default ModelFactory: the paper's GP schedule. The
+// hyperparameters are re-optimized on cycles 1, 1+RefitEvery, ...; other
+// cycles re-factorize the fitted model on the extended data set.
+type gpFactory struct {
+	cfg        gp.Config
+	refitEvery int
+	model      *gp.GP
+}
+
+// Fit implements ModelFactory.
+func (f *gpFactory) Fit(ctx context.Context, st *State, cycle int) (surrogate.Surrogate, error) {
+	var (
+		m   *gp.GP
+		err error
+	)
+	switch {
+	case f.model == nil:
+		m, err = gp.Fit(st.X, st.Y, f.cfg)
+	case (cycle-1)%f.refitEvery == 0:
+		m, err = gp.Refit(f.model, st.X, st.Y)
+	default:
+		m, err = gp.WithData(f.model, st.X, st.Y)
+	}
+	if err != nil {
+		return nil, err
+	}
+	f.model = m
+	return m, nil
+}
+
+// CycleHook observes engine lifecycle phases. All methods are called
+// synchronously from Run, in order: OnInitialDesign once, then per cycle
+// OnFit, OnAcquire, OnEvaluate, OnRecord. Implementations must not mutate
+// the arguments. Embed NopHook to implement only the phases of interest.
+type CycleHook interface {
+	// OnInitialDesign fires after the initial design has been fully
+	// evaluated; n is the number of design evaluations.
+	OnInitialDesign(st *State, n int)
+	// OnFit fires after the cycle's surrogate is ready. virtual is the
+	// FitTime charged to the clock.
+	OnFit(cycle int, model surrogate.Surrogate, virtual time.Duration)
+	// OnAcquire fires after the batch is selected (and deduplicated).
+	// fallback reports whether acquisition failed and the engine
+	// substituted uniform-random candidates; reason is empty otherwise.
+	OnAcquire(cycle int, batch [][]float64, fallback bool, reason string, virtual time.Duration)
+	// OnEvaluate fires after the batch has been evaluated and observed.
+	OnEvaluate(cycle int, batch [][]float64, ys []float64, virtual time.Duration)
+	// OnRecord fires last in a cycle with the appended history record.
+	OnRecord(rec CycleRecord)
+}
+
+// NopHook is a CycleHook that does nothing; it is the default and the
+// recommended embedding base for partial hooks.
+type NopHook struct{}
+
+// OnInitialDesign implements CycleHook.
+func (NopHook) OnInitialDesign(*State, int) {}
+
+// OnFit implements CycleHook.
+func (NopHook) OnFit(int, surrogate.Surrogate, time.Duration) {}
+
+// OnAcquire implements CycleHook.
+func (NopHook) OnAcquire(int, [][]float64, bool, string, time.Duration) {}
+
+// OnEvaluate implements CycleHook.
+func (NopHook) OnEvaluate(int, [][]float64, []float64, time.Duration) {}
+
+// OnRecord implements CycleHook.
+func (NopHook) OnRecord(CycleRecord) {}
+
 // CycleRecord captures one engine cycle for the paper's figures.
 type CycleRecord struct {
 	// Cycle is 1-based; cycle 0 is the initial design.
@@ -154,6 +268,12 @@ type CycleRecord struct {
 	Virtual time.Duration
 	// FitTime, AcqTime and EvalTime are this cycle's virtual durations.
 	FitTime, AcqTime, EvalTime time.Duration
+	// Fallback reports that acquisition failed this cycle and the batch
+	// was drawn uniformly at random instead; FallbackReason says why.
+	Fallback bool
+	// FallbackReason is the acquisition error (or "empty batch") behind a
+	// fallback; empty when Fallback is false.
+	FallbackReason string
 }
 
 // Result reports a full optimization run.
@@ -169,6 +289,11 @@ type Result struct {
 	Cycles, Evals int
 	// InitEvals counts initial-design simulations.
 	InitEvals int
+	// Fallbacks counts cycles whose acquisition failed and fell back to
+	// uniform-random candidates. A nonzero count flags runs whose trace
+	// partially reflects random search rather than the strategy under
+	// test.
+	Fallbacks int
 	// Virtual is the total virtual time consumed.
 	Virtual time.Duration
 	// History holds one record per cycle.
@@ -228,8 +353,15 @@ type Engine struct {
 	// default parallel-call overhead.
 	Pool *parallel.Pool
 	// Model configures GP fitting. Zero values select defaults
-	// (Matérn-5/2, fitted noise, 2 restarts, subset cap 256).
+	// (Matérn-5/2, fitted noise, 2 restarts, subset cap 256). Ignored
+	// when Factory is set or the Strategy implements ModelProvider.
 	Model ModelConfig
+	// Factory overrides the engine-side surrogate fit (default: the
+	// paper's GP with the Model schedule). Ignored when the Strategy
+	// implements ModelProvider.
+	Factory ModelFactory
+	// Hook observes lifecycle phases; nil means NopHook.
+	Hook CycleHook
 	// Seed makes the run deterministic.
 	Seed uint64
 }
@@ -279,6 +411,9 @@ func (e *Engine) defaults() Engine {
 	if d.Model.RefitEvery <= 0 {
 		d.Model.RefitEvery = 3
 	}
+	if d.Hook == nil {
+		d.Hook = NopHook{}
+	}
 	return d
 }
 
@@ -295,8 +430,33 @@ func (e *Engine) gpConfig(seed uint64) gp.Config {
 	}
 }
 
-// Run executes the optimization and returns its result.
-func (e *Engine) Run() (*Result, error) {
+// run carries the mutable state of one Engine.Run invocation through the
+// lifecycle phases. The rng streams are split from the master in a fixed
+// order (design=1, acq=2, jitter=3, fit=4) so traces replay bit-identically
+// across refactors of the phase code.
+type run struct {
+	cfg   Engine
+	clock *Clock
+	st    *State
+	res   *Result
+	hook  CycleHook
+
+	factory ModelFactory
+	model   surrogate.Surrogate
+
+	designStream *rng.Stream
+	acqStream    *rng.Stream
+	jitterStream *rng.Stream
+	fitStream    *rng.Stream
+}
+
+// Run executes the optimization and returns its result. ctx cancels the
+// run: in-flight batch evaluations are drained (never abandoned mid-eval),
+// the run stops within the current cycle, and Run returns the partial
+// Result — consistent History, X, Y and counters covering every completed
+// cycle — together with an error wrapping ErrInterrupted and the context's
+// error. A nil ctx is treated as context.Background().
+func (e *Engine) Run(ctx context.Context) (*Result, error) {
 	cfg := e.defaults()
 	if err := cfg.Problem.validate(); err != nil {
 		return nil, err
@@ -304,112 +464,213 @@ func (e *Engine) Run() (*Result, error) {
 	if cfg.Strategy == nil {
 		return nil, errors.New("core: nil strategy")
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg.Strategy.Reset()
 
 	master := rng.New(cfg.Seed, 0)
-	designStream := master.Split(1)
-	acqStream := master.Split(2)
-	jitterStream := master.Split(3)
-
-	clock := NewClock(cfg.OverheadFactor)
-	st := &State{Problem: cfg.Problem}
-	res := &Result{
-		Problem:  cfg.Problem.Name,
-		Strategy: cfg.Strategy.Name(),
-		Batch:    cfg.BatchSize,
+	r := &run{
+		cfg:          cfg,
+		clock:        NewClock(cfg.OverheadFactor),
+		st:           &State{Problem: cfg.Problem},
+		hook:         cfg.Hook,
+		factory:      cfg.Factory,
+		designStream: master.Split(1),
+		acqStream:    master.Split(2),
+		jitterStream: master.Split(3),
+		fitStream:    master.Split(4),
+		res: &Result{
+			Problem:  cfg.Problem.Name,
+			Strategy: cfg.Strategy.Name(),
+			Batch:    cfg.BatchSize,
+		},
+	}
+	if r.factory == nil {
+		r.factory = &gpFactory{cfg: e.gpConfig(cfg.Seed), refitEvery: cfg.Model.RefitEvery}
 	}
 
-	// Initial design: Latin Hypercube of 16·q points, evaluated in
-	// batch-parallel waves of q. Its time does not count against Budget
-	// (Table 2 lists the 20 min as simulation budget, initial sampling
-	// separate).
-	design := rng.ScaleToBounds(
-		rng.LatinHypercube(cfg.InitSamples, cfg.Problem.Dim(), designStream),
-		cfg.Problem.Lo, cfg.Problem.Hi)
-	for w := 0; w < len(design); w += cfg.BatchSize {
-		end := min(w+cfg.BatchSize, len(design))
-		br := cfg.Pool.EvalBatch(cfg.Problem.Evaluator, design[w:end])
-		st.Observe(design[w:end], br.Y)
+	if err := r.initialDesign(ctx); err != nil {
+		return r.finish(0), interrupted("initial design", err)
 	}
-	res.InitEvals = len(design)
 
-	var model *gp.GP
-	var err error
 	cycle := 0
-	for clock.Elapsed() < cfg.Budget {
+	for r.clock.Elapsed() < cfg.Budget {
 		if cfg.MaxCycles > 0 && cycle >= cfg.MaxCycles {
 			break
 		}
-		cycle++
-		st.Cycle = cycle
-
-		// (i) Fit the surrogate (measured time). Hyperparameters are
-		// re-optimized every RefitEvery-th cycle; in between, the model
-		// is only re-factorized on the extended data set.
-		fitStart := time.Now()
-		if model == nil {
-			model, err = gp.Fit(st.X, st.Y, e.gpConfig(cfg.Seed))
-		} else if (cycle-1)%cfg.Model.RefitEvery == 0 {
-			model, err = gp.Refit(model, st.X, st.Y)
-		} else {
-			model, err = gp.WithData(model, st.X, st.Y)
+		if err := ctx.Err(); err != nil {
+			return r.finish(cycle), interrupted("between cycles", err)
 		}
-		fitReal := time.Since(fitStart)
+		cycle++
+		r.st.Cycle = cycle
+
+		fitVirtual, err := r.fitModel(ctx, cycle)
 		if err != nil {
+			if ctx.Err() != nil {
+				return r.finish(cycle - 1), interrupted("model fit", ctx.Err())
+			}
 			return nil, fmt.Errorf("core: cycle %d fit: %w", cycle, err)
 		}
-		fitVirtual := time.Duration(float64(fitReal) * clock.OverheadFactor)
-		clock.AddMeasured(fitReal)
 
-		// (ii) Acquire a batch (measured time). Acquisition processes
-		// with internal parallelism (BSP-EGO's per-leaf search) are
-		// charged measured-time ÷ min(parallel degree, cores), which
-		// reproduces the paper's multi-core wall time on any host.
-		acqStart := time.Now()
-		batch, err := cfg.Strategy.Propose(model, st, cfg.BatchSize, acqStream.Split(uint64(cycle)))
-		acqReal := time.Since(acqStart)
-		if err != nil || len(batch) == 0 {
-			// Acquisition failure: fall back to random candidates rather
-			// than aborting the run (robustness over purity).
-			batch = rng.UniformDesign(cfg.BatchSize, cfg.Problem.Lo, cfg.Problem.Hi, jitterStream)
+		batch, acqVirtual, fallback, reason, err := r.acquireBatch(ctx, cycle)
+		if err != nil {
+			return r.finish(cycle - 1), interrupted("acquisition", err)
 		}
-		batch = dedupeBatch(batch, st, jitterStream)
-		speedup := cfg.Strategy.APParallelism(cfg.BatchSize)
-		if speedup > cfg.Cores {
-			speedup = cfg.Cores
-		}
-		if speedup < 1 {
-			speedup = 1
-		}
-		acqReal /= time.Duration(speedup)
-		acqVirtual := time.Duration(float64(acqReal) * clock.OverheadFactor)
-		clock.AddMeasured(acqReal)
 
-		// (iii) Evaluate in parallel (simulated time).
-		br := cfg.Pool.EvalBatch(cfg.Problem.Evaluator, batch)
-		clock.AddSimulated(br.Virtual)
-		st.Observe(batch, br.Y)
-		cfg.Strategy.Observe(st, batch, br.Y)
+		br, err := r.evaluateBatch(ctx, cycle, batch)
+		if err != nil {
+			return r.finish(cycle - 1), interrupted("evaluation", err)
+		}
 
-		res.History = append(res.History, CycleRecord{
-			Cycle:    cycle,
-			Evals:    len(st.Y),
-			BestY:    st.BestY,
-			Virtual:  clock.Elapsed(),
-			FitTime:  fitVirtual,
-			AcqTime:  acqVirtual,
-			EvalTime: br.Virtual,
-		})
+		r.record(cycle, fitVirtual, acqVirtual, br.Virtual, fallback, reason)
 	}
+	return r.finish(cycle), nil
+}
 
-	res.BestX = st.BestX
-	res.BestY = st.BestY
-	res.Cycles = cycle
-	res.Evals = len(st.Y)
-	res.Virtual = clock.Elapsed()
-	res.X = st.X
-	res.Y = st.Y
-	return res, nil
+// interrupted wraps a phase cancellation so that callers can test both
+// errors.Is(err, ErrInterrupted) and errors.Is(err, ctx.Err()).
+func interrupted(phase string, cause error) error {
+	return fmt.Errorf("%w during %s: %w", ErrInterrupted, phase, cause)
+}
+
+// initialDesign evaluates the Latin-Hypercube design in batch-parallel
+// waves of q. Its time does not count against Budget (Table 2 lists the
+// 20 min as simulation budget, initial sampling separate). On cancellation
+// the completed waves remain observed in the state.
+func (r *run) initialDesign(ctx context.Context) error {
+	cfg := &r.cfg
+	design := rng.ScaleToBounds(
+		rng.LatinHypercube(cfg.InitSamples, cfg.Problem.Dim(), r.designStream),
+		cfg.Problem.Lo, cfg.Problem.Hi)
+	for w := 0; w < len(design); w += cfg.BatchSize {
+		end := min(w+cfg.BatchSize, len(design))
+		br, err := cfg.Pool.EvalBatch(ctx, cfg.Problem.Evaluator, design[w:end])
+		if err != nil {
+			return err
+		}
+		r.st.Observe(design[w:end], br.Y)
+		r.res.InitEvals = len(r.st.Y)
+	}
+	r.hook.OnInitialDesign(r.st, r.res.InitEvals)
+	return nil
+}
+
+// fitModel produces the cycle's surrogate (measured time, charged as
+// FitTime). Self-modeled strategies (ModelProvider) train their own model
+// on a dedicated per-cycle stream; otherwise the ModelFactory — by default
+// the paper's GP with hyperparameters re-optimized every RefitEvery-th
+// cycle — supplies it.
+func (r *run) fitModel(ctx context.Context, cycle int) (time.Duration, error) {
+	fitStart := time.Now()
+	var (
+		model surrogate.Surrogate
+		err   error
+	)
+	if mp, ok := r.cfg.Strategy.(ModelProvider); ok {
+		model, err = mp.FitModel(ctx, r.st, cycle, r.fitStream.Split(uint64(cycle)))
+	} else {
+		model, err = r.factory.Fit(ctx, r.st, cycle)
+	}
+	fitReal := time.Since(fitStart)
+	if err != nil {
+		return 0, err
+	}
+	r.model = model
+	fitVirtual := time.Duration(float64(fitReal) * r.clock.OverheadFactor)
+	r.clock.AddMeasured(fitReal)
+	r.hook.OnFit(cycle, model, fitVirtual)
+	return fitVirtual, nil
+}
+
+// acquireBatch selects the cycle's batch (measured time, charged as
+// AcqTime). Acquisition processes with internal parallelism (BSP-EGO's
+// per-leaf search) are charged measured-time ÷ min(parallel degree, cores),
+// which reproduces the paper's multi-core wall time on any host. A failed
+// or empty proposal falls back to uniform-random candidates — robustness
+// over purity — and the fallback is reported, not swallowed. A non-nil
+// error is returned only for cancellation.
+func (r *run) acquireBatch(ctx context.Context, cycle int) (batch [][]float64, virtual time.Duration, fallback bool, reason string, err error) {
+	cfg := &r.cfg
+	acqStart := time.Now()
+	batch, perr := cfg.Strategy.Propose(ctx, r.model, r.st, cfg.BatchSize, r.acqStream.Split(uint64(cycle)))
+	acqReal := time.Since(acqStart)
+	if cerr := ctx.Err(); cerr != nil {
+		// A proposal cut short by cancellation is not a real batch; do
+		// not fall back to random search on the user's way out.
+		return nil, 0, false, "", cerr
+	}
+	if perr != nil || len(batch) == 0 {
+		fallback = true
+		if perr != nil {
+			reason = perr.Error()
+		} else {
+			reason = "empty batch"
+		}
+		batch = rng.UniformDesign(cfg.BatchSize, cfg.Problem.Lo, cfg.Problem.Hi, r.jitterStream)
+	}
+	batch = dedupeBatch(batch, r.st, r.jitterStream)
+	speedup := cfg.Strategy.APParallelism(cfg.BatchSize)
+	if speedup > cfg.Cores {
+		speedup = cfg.Cores
+	}
+	if speedup < 1 {
+		speedup = 1
+	}
+	acqReal /= time.Duration(speedup)
+	virtual = time.Duration(float64(acqReal) * r.clock.OverheadFactor)
+	r.clock.AddMeasured(acqReal)
+	r.hook.OnAcquire(cycle, batch, fallback, reason, virtual)
+	return batch, virtual, fallback, reason, nil
+}
+
+// evaluateBatch runs the batch through the pool (simulated time) and feeds
+// the observations to the state and the strategy. On cancellation the
+// partially evaluated batch is discarded wholesale so History, X and Y
+// stay consistent.
+func (r *run) evaluateBatch(ctx context.Context, cycle int, batch [][]float64) (parallel.BatchResult, error) {
+	cfg := &r.cfg
+	br, err := cfg.Pool.EvalBatch(ctx, cfg.Problem.Evaluator, batch)
+	if err != nil {
+		return parallel.BatchResult{}, err
+	}
+	r.clock.AddSimulated(br.Virtual)
+	r.st.Observe(batch, br.Y)
+	cfg.Strategy.Observe(r.st, batch, br.Y)
+	r.hook.OnEvaluate(cycle, batch, br.Y, br.Virtual)
+	return br, nil
+}
+
+// record appends the cycle's history record.
+func (r *run) record(cycle int, fitVirtual, acqVirtual, evalVirtual time.Duration, fallback bool, reason string) {
+	if fallback {
+		r.res.Fallbacks++
+	}
+	rec := CycleRecord{
+		Cycle:          cycle,
+		Evals:          len(r.st.Y),
+		BestY:          r.st.BestY,
+		Virtual:        r.clock.Elapsed(),
+		FitTime:        fitVirtual,
+		AcqTime:        acqVirtual,
+		EvalTime:       evalVirtual,
+		Fallback:       fallback,
+		FallbackReason: reason,
+	}
+	r.res.History = append(r.res.History, rec)
+	r.hook.OnRecord(rec)
+}
+
+// finish seals the result with the final incumbent and counters.
+func (r *run) finish(cycles int) *Result {
+	r.res.BestX = r.st.BestX
+	r.res.BestY = r.st.BestY
+	r.res.Cycles = cycles
+	r.res.Evals = len(r.st.Y)
+	r.res.Virtual = r.clock.Elapsed()
+	r.res.X = r.st.X
+	r.res.Y = r.st.Y
+	return r.res
 }
 
 // dedupeBatch nudges candidates that collide with existing observations or
@@ -460,11 +721,4 @@ func dedupeBatch(batch [][]float64, st *State, stream *rng.Stream) [][]float64 {
 		out = append(out, c)
 	}
 	return out
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
 }

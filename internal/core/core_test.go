@@ -1,13 +1,14 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
 
-	"repro/internal/gp"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // randomStrategy proposes uniform random batches — a minimal valid
@@ -16,7 +17,7 @@ type randomStrategy struct{ calls int }
 
 func (r *randomStrategy) Name() string { return "random" }
 func (r *randomStrategy) Reset()       { r.calls = 0 }
-func (r *randomStrategy) Propose(_ *gp.GP, st *State, q int, stream *rng.Stream) ([][]float64, error) {
+func (r *randomStrategy) Propose(_ context.Context, _ surrogate.Surrogate, st *State, q int, stream *rng.Stream) ([][]float64, error) {
 	r.calls++
 	return rng.UniformDesign(q, st.Problem.Lo, st.Problem.Hi, stream), nil
 }
@@ -27,7 +28,7 @@ type failingStrategy struct{}
 
 func (failingStrategy) Name() string { return "failing" }
 func (failingStrategy) Reset()       {}
-func (failingStrategy) Propose(*gp.GP, *State, int, *rng.Stream) ([][]float64, error) {
+func (failingStrategy) Propose(context.Context, surrogate.Surrogate, *State, int, *rng.Stream) ([][]float64, error) {
 	return nil, nil
 }
 func (failingStrategy) Observe(*State, [][]float64, []float64) {}
@@ -59,7 +60,7 @@ func quickEngine(p *Problem, s Strategy) *Engine {
 func TestEngineRunsAndRecords(t *testing.T) {
 	p := sphereProblem(10 * time.Second)
 	e := quickEngine(p, &randomStrategy{})
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestEngineRunsAndRecords(t *testing.T) {
 
 func TestEngineHistoryMonotonic(t *testing.T) {
 	p := sphereProblem(5 * time.Second)
-	res, err := quickEngine(p, &randomStrategy{}).Run()
+	res, err := quickEngine(p, &randomStrategy{}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +113,11 @@ func TestEngineDeterministic(t *testing.T) {
 	// Determinism of the *search trajectory* given a seed: the measured
 	// fit/acq wall times differ run to run, which can change the cycle
 	// count near the budget edge, so compare the per-cycle trace prefix.
-	r1, err := quickEngine(p, &randomStrategy{}).Run()
+	r1, err := quickEngine(p, &randomStrategy{}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := quickEngine(p, &randomStrategy{}).Run()
+	r2, err := quickEngine(p, &randomStrategy{}).Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestEngineMaxCycles(t *testing.T) {
 	e := quickEngine(p, &randomStrategy{})
 	e.Budget = time.Hour
 	e.MaxCycles = 3
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestEngineMaxCycles(t *testing.T) {
 func TestEngineFallbackOnEmptyProposal(t *testing.T) {
 	p := sphereProblem(10 * time.Second)
 	e := quickEngine(p, failingStrategy{})
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestEngineImprovesOverInitialDesign(t *testing.T) {
 	p := sphereProblem(2 * time.Second)
 	e := quickEngine(p, &randomStrategy{})
 	e.Budget = 2 * time.Minute
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,15 +179,15 @@ func TestEngineImprovesOverInitialDesign(t *testing.T) {
 }
 
 func TestEngineValidation(t *testing.T) {
-	if _, err := (&Engine{Strategy: &randomStrategy{}}).Run(); err == nil {
+	if _, err := (&Engine{Strategy: &randomStrategy{}}).Run(context.Background()); err == nil {
 		t.Fatal("expected error for nil problem")
 	}
 	p := sphereProblem(time.Second)
-	if _, err := (&Engine{Problem: p}).Run(); err == nil {
+	if _, err := (&Engine{Problem: p}).Run(context.Background()); err == nil {
 		t.Fatal("expected error for nil strategy")
 	}
 	bad := &Problem{Name: "bad", Lo: []float64{1}, Hi: []float64{0}, Evaluator: p.Evaluator}
-	if _, err := (&Engine{Problem: bad, Strategy: &randomStrategy{}}).Run(); err == nil {
+	if _, err := (&Engine{Problem: bad, Strategy: &randomStrategy{}}).Run(context.Background()); err == nil {
 		t.Fatal("expected error for inverted bounds")
 	}
 }
@@ -287,7 +288,7 @@ func TestEngineZeroBudgetStillRunsInit(t *testing.T) {
 	p := sphereProblem(10 * time.Second)
 	e := quickEngine(p, &randomStrategy{})
 	e.Budget = time.Nanosecond
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestEngineBatchLargerThanInit(t *testing.T) {
 	e.InitSamples = 4 // smaller than the batch: engine must still work
 	e.MaxCycles = 2
 	e.Budget = time.Hour
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

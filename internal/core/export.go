@@ -19,6 +19,7 @@ type resultJSON struct {
 	Cycles    int           `json:"cycles"`
 	Evals     int           `json:"evals"`
 	InitEvals int           `json:"init_evals"`
+	Fallbacks int           `json:"fallbacks,omitempty"`
 	VirtualS  float64       `json:"virtual_seconds"`
 	History   []historyJSON `json:"history"`
 	X         [][]float64   `json:"x"`
@@ -26,13 +27,15 @@ type resultJSON struct {
 }
 
 type historyJSON struct {
-	Cycle    int     `json:"cycle"`
-	Evals    int     `json:"evals"`
-	BestY    float64 `json:"best_y"`
-	VirtualS float64 `json:"virtual_seconds"`
-	FitS     float64 `json:"fit_seconds"`
-	AcqS     float64 `json:"acq_seconds"`
-	EvalS    float64 `json:"eval_seconds"`
+	Cycle          int     `json:"cycle"`
+	Evals          int     `json:"evals"`
+	BestY          float64 `json:"best_y"`
+	VirtualS       float64 `json:"virtual_seconds"`
+	FitS           float64 `json:"fit_seconds"`
+	AcqS           float64 `json:"acq_seconds"`
+	EvalS          float64 `json:"eval_seconds"`
+	Fallback       bool    `json:"fallback,omitempty"`
+	FallbackReason string  `json:"fallback_reason,omitempty"`
 }
 
 // WriteJSON serializes the result, including the full evaluation trace and
@@ -43,16 +46,19 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		Problem: r.Problem, Strategy: r.Strategy, Batch: r.Batch,
 		BestX: r.BestX, BestY: r.BestY,
 		Cycles: r.Cycles, Evals: r.Evals, InitEvals: r.InitEvals,
-		VirtualS: r.Virtual.Seconds(),
-		X:        r.X, Y: r.Y,
+		Fallbacks: r.Fallbacks,
+		VirtualS:  r.Virtual.Seconds(),
+		X:         r.X, Y: r.Y,
 	}
 	for _, h := range r.History {
 		out.History = append(out.History, historyJSON{
 			Cycle: h.Cycle, Evals: h.Evals, BestY: h.BestY,
-			VirtualS: h.Virtual.Seconds(),
-			FitS:     h.FitTime.Seconds(),
-			AcqS:     h.AcqTime.Seconds(),
-			EvalS:    h.EvalTime.Seconds(),
+			VirtualS:       h.Virtual.Seconds(),
+			FitS:           h.FitTime.Seconds(),
+			AcqS:           h.AcqTime.Seconds(),
+			EvalS:          h.EvalTime.Seconds(),
+			Fallback:       h.Fallback,
+			FallbackReason: h.FallbackReason,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -70,16 +76,19 @@ func ReadResultJSON(r io.Reader) (*Result, error) {
 		Problem: in.Problem, Strategy: in.Strategy, Batch: in.Batch,
 		BestX: in.BestX, BestY: in.BestY,
 		Cycles: in.Cycles, Evals: in.Evals, InitEvals: in.InitEvals,
-		Virtual: time.Duration(in.VirtualS * float64(time.Second)),
-		X:       in.X, Y: in.Y,
+		Fallbacks: in.Fallbacks,
+		Virtual:   time.Duration(in.VirtualS * float64(time.Second)),
+		X:         in.X, Y: in.Y,
 	}
 	for _, h := range in.History {
 		out.History = append(out.History, CycleRecord{
 			Cycle: h.Cycle, Evals: h.Evals, BestY: h.BestY,
-			Virtual:  time.Duration(h.VirtualS * float64(time.Second)),
-			FitTime:  time.Duration(h.FitS * float64(time.Second)),
-			AcqTime:  time.Duration(h.AcqS * float64(time.Second)),
-			EvalTime: time.Duration(h.EvalS * float64(time.Second)),
+			Virtual:        time.Duration(h.VirtualS * float64(time.Second)),
+			FitTime:        time.Duration(h.FitS * float64(time.Second)),
+			AcqTime:        time.Duration(h.AcqS * float64(time.Second)),
+			EvalTime:       time.Duration(h.EvalS * float64(time.Second)),
+			Fallback:       h.Fallback,
+			FallbackReason: h.FallbackReason,
 		})
 	}
 	return out, nil

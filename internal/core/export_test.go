@@ -11,11 +11,12 @@ func sampleResult() *Result {
 	return &Result{
 		Problem: "sphere", Strategy: "KB-q-EGO", Batch: 2,
 		BestX: []float64{0.1, -0.2}, BestY: 0.05,
-		Cycles: 2, Evals: 6, InitEvals: 2,
+		Cycles: 2, Evals: 6, InitEvals: 2, Fallbacks: 1,
 		Virtual: 42 * time.Second,
 		History: []CycleRecord{
 			{Cycle: 1, Evals: 4, BestY: 0.3, Virtual: 20 * time.Second,
-				FitTime: time.Second, AcqTime: 2 * time.Second, EvalTime: 10 * time.Second},
+				FitTime: time.Second, AcqTime: 2 * time.Second, EvalTime: 10 * time.Second,
+				Fallback: true, FallbackReason: "empty batch"},
 			{Cycle: 2, Evals: 6, BestY: 0.05, Virtual: 42 * time.Second,
 				FitTime: time.Second, AcqTime: time.Second, EvalTime: 10 * time.Second},
 		},
@@ -42,6 +43,15 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	}
 	if len(back.History) != 2 || back.History[1].AcqTime != time.Second {
 		t.Fatalf("history mismatch: %+v", back.History)
+	}
+	if back.Fallbacks != 1 {
+		t.Fatalf("fallbacks not round-tripped: %+v", back)
+	}
+	if !back.History[0].Fallback || back.History[0].FallbackReason != "empty batch" {
+		t.Fatalf("fallback record not round-tripped: %+v", back.History[0])
+	}
+	if back.History[1].Fallback || back.History[1].FallbackReason != "" {
+		t.Fatalf("spurious fallback after round trip: %+v", back.History[1])
 	}
 	if len(back.Y) != 6 || back.Y[3] != 0.04 {
 		t.Fatalf("trace mismatch: %v", back.Y)

@@ -1,11 +1,12 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
-	"repro/internal/gp"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // sleepyStrategy burns real time in Propose and reports a configurable AP
@@ -19,7 +20,7 @@ func (s *sleepyStrategy) Name() string                           { return "sleep
 func (s *sleepyStrategy) Reset()                                 {}
 func (s *sleepyStrategy) APParallelism(int) int                  { return s.parallelism }
 func (s *sleepyStrategy) Observe(*State, [][]float64, []float64) {}
-func (s *sleepyStrategy) Propose(_ *gp.GP, st *State, q int, stream *rng.Stream) ([][]float64, error) {
+func (s *sleepyStrategy) Propose(_ context.Context, _ surrogate.Surrogate, st *State, q int, stream *rng.Stream) ([][]float64, error) {
 	time.Sleep(s.delay)
 	return rng.UniformDesign(q, st.Problem.Lo, st.Problem.Hi, stream), nil
 }
@@ -40,7 +41,7 @@ func runOneCycle(t *testing.T, s Strategy, cores int) time.Duration {
 		Model:          ModelConfig{Restarts: 1, MaxIter: 10, FitSubsetMax: 32},
 		Seed:           3,
 	}
-	res, err := e.Run()
+	res, err := e.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

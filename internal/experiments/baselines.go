@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -53,7 +54,7 @@ func RunBaselineComparison(simCfg uphes.Config, boStrategy string, batch, reps i
 			Problem: problem, Strategy: strat, BatchSize: batch,
 			Budget: budget, Seed: seed + uint64(rep),
 		}
-		run, err := e.Run()
+		run, err := e.Run(context.Background())
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -130,7 +131,7 @@ func runStudy(problem *core.Problem, cfg StudyConfig) (*StudyResult, error) {
 					OverheadFactor: cfg.OverheadFactor,
 					Seed:           cfg.Seed + uint64(rep),
 				}
-				run, err := e.Run()
+				run, err := e.Run(context.Background())
 				if err != nil {
 					return nil, fmt.Errorf("experiments: %s q=%d rep=%d: %w", alg, q, rep, err)
 				}

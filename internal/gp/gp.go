@@ -12,6 +12,7 @@
 package gp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/mat"
 	"repro/internal/optim"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // KernelKind selects the covariance family for Config.
@@ -110,6 +112,12 @@ type GP struct {
 
 // ErrEmptyData is returned when fitting with no observations.
 var ErrEmptyData = errors.New("gp: no training data")
+
+// Both model families in this package are full surrogates.
+var (
+	_ surrogate.Surrogate = (*GP)(nil)
+	_ surrogate.Surrogate = (*RFF)(nil)
+)
 
 // Fit trains a GP on the given raw-space observations.
 func Fit(xs [][]float64, ys []float64, cfg Config) (*GP, error) {
@@ -323,7 +331,7 @@ func (g *GP) optimizeHyper(warm []float64) error {
 	starts = append(starts, rng.SobolDesign(restarts, lo, hi, stream)...)
 
 	ms := &optim.MultiStart{Local: &optim.LBFGSB{MaxIter: maxIter, GTol: 1e-5, MaxEvals: 2 * maxIter, MaxLineSearch: 12}}
-	res := ms.Run(obj, starts, lo, hi)
+	res := ms.Run(context.Background(), obj, starts, lo, hi)
 	g.applyParams(res.X)
 	g.warmParams = mat.CloneVec(res.X)
 	g.fitLML = -res.F
@@ -504,10 +512,7 @@ func (g *GP) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float6
 // JointPrediction is the posterior over a batch of q points: mean vector
 // and the lower Cholesky factor of the covariance, both in raw output
 // units. Monte-Carlo q-EI samples y = Mean + CovChol·z with z ~ N(0, I).
-type JointPrediction struct {
-	Mean    []float64
-	CovChol *mat.Dense
-}
+type JointPrediction = surrogate.JointPrediction
 
 // PredictJoint returns the joint posterior of the latent function at the
 // given raw-space points.
@@ -550,8 +555,9 @@ func (g *GP) PredictJoint(xs [][]float64) (*JointPrediction, error) {
 // Fantasize returns a new GP that additionally conditions on the
 // observation (x, y) in raw space without re-estimating hyperparameters —
 // the Kriging-Believer partial update. Cost is O(n²) via incremental
-// Cholesky extension.
-func (g *GP) Fantasize(x []float64, y float64) (*GP, error) {
+// Cholesky extension. The result is returned as a surrogate.Surrogate
+// (always a *GP underneath) so GP satisfies the surrogate interface.
+func (g *GP) Fantasize(x []float64, y float64) (surrogate.Surrogate, error) {
 	u := g.normalize(x)
 	n := g.N()
 	b := mat.NewDense(n, 1, nil)
@@ -579,6 +585,17 @@ func (g *GP) Fantasize(x []float64, y float64) (*GP, error) {
 	ng.ys = append(mat.CloneVec(g.ys), (y-g.ymean)/g.ystd)
 	ng.alpha = ext.SolveVec(ng.ys)
 	return ng, nil
+}
+
+// Info implements surrogate.Surrogate.
+func (g *GP) Info() surrogate.Info {
+	return surrogate.Info{
+		Family:          "GP",
+		N:               g.N(),
+		Dim:             g.d,
+		Score:           g.fitLML,
+		Hyperparameters: g.Hyperparameters(),
+	}
 }
 
 // BestObserved returns the index, point (raw space) and value of the best

@@ -257,10 +257,11 @@ func TestFantasizeMatchesDirectFit(t *testing.T) {
 	}
 	newX := []float64{0.5}
 	newY := math.Sin(0.5)
-	fg, err := g.Fantasize(newX, newY)
+	fgS, err := g.Fantasize(newX, newY)
 	if err != nil {
 		t.Fatal(err)
 	}
+	fg := fgS.(*GP)
 	if fg.N() != g.N()+1 {
 		t.Fatalf("fantasy N = %d", fg.N())
 	}

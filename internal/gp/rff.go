@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mat"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // RFF is a random-Fourier-feature approximation of a stationary-kernel GP
@@ -32,8 +33,12 @@ type RFF struct {
 	ymean, ystd float64
 	noise       float64
 
-	chol  *mat.Cholesky // factor of (ΦᵀΦ + σₙ²·I), M×M
+	chol  *mat.Cholesky // factor of A = ΦᵀΦ + σₙ²·I, M×M
 	wMean []float64     // posterior weight mean, length M
+	rhs   []float64     // Φᵀ·ys (standardized), kept for fantasy updates
+
+	xs [][]float64 // raw training inputs (cloned)
+	ys []float64   // raw training outputs
 }
 
 // RFFConfig extends Config with the feature count.
@@ -145,7 +150,14 @@ func FitRFF(xs [][]float64, ys []float64, cfg RFFConfig, prev *GP) (*RFF, error)
 		ysd := (ys[i] - r.ymean) / r.ystd
 		mat.AxpyVec(ysd, phi.Row(i), rhs)
 	}
+	r.rhs = rhs
 	r.wMean = ch.SolveVec(rhs)
+	// Retain the raw data: BestObserved and Fantasize need it.
+	r.xs = make([][]float64, n)
+	for i, x := range xs {
+		r.xs[i] = mat.CloneVec(x)
+	}
+	r.ys = mat.CloneVec(ys)
 	return r, nil
 }
 
@@ -185,6 +197,160 @@ func (r *RFF) normalize(x []float64) []float64 {
 		u[j] = (x[j] - r.cfg.Lo[j]) / (r.cfg.Hi[j] - r.cfg.Lo[j])
 	}
 	return u
+}
+
+// PredictWithGrad returns the posterior mean and sd at x plus their
+// gradients with respect to x (raw space). Both are analytic: the feature
+// map is a cosine expansion, so ∂φ_m/∂u_j = −amp·sin(wᵀu+b)·w_mj.
+func (r *RFF) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float64) {
+	u := r.normalize(x)
+	m := r.features
+	phi := make([]float64, m)
+	dphiCoef := make([]float64, m) // −amp·sin(arg), per feature
+	for i := 0; i < m; i++ {
+		arg := mat.Dot(r.w.Row(i), u) + r.b[i]
+		phi[i] = r.amp * math.Cos(arg)
+		dphiCoef[i] = -r.amp * math.Sin(arg)
+	}
+	mu := mat.Dot(phi, r.wMean)
+	a := r.chol.SolveVec(phi) // A⁻¹φ
+	variance := r.noise * mat.Dot(phi, a)
+	if variance < 1e-300 {
+		variance = 1e-300
+	}
+	sdStd := math.Sqrt(variance)
+
+	dMeanU := make([]float64, r.d)
+	dVarU := make([]float64, r.d)
+	for i := 0; i < m; i++ {
+		wrow := r.w.Row(i)
+		cm := r.wMean[i] * dphiCoef[i]
+		cv := 2 * r.noise * a[i] * dphiCoef[i]
+		for j := 0; j < r.d; j++ {
+			dMeanU[j] += cm * wrow[j]
+			dVarU[j] += cv * wrow[j]
+		}
+	}
+	dMean = make([]float64, r.d)
+	dSD = make([]float64, r.d)
+	for j := 0; j < r.d; j++ {
+		du := 1 / (r.cfg.Hi[j] - r.cfg.Lo[j])
+		dMean[j] = r.ystd * dMeanU[j] * du
+		dSD[j] = r.ystd * dVarU[j] / (2 * sdStd) * du
+	}
+	return r.ymean + r.ystd*mu, r.ystd * sdStd, dMean, dSD
+}
+
+// PredictJoint returns the joint posterior over a batch of raw-space
+// points. In weight space Cov(f(x_i), f(x_j)) = σₙ²·φ_iᵀA⁻¹φ_j, so the
+// batch covariance follows from one forward solve per point.
+func (r *RFF) PredictJoint(xs [][]float64) (*surrogate.JointPrediction, error) {
+	q := len(xs)
+	if q == 0 {
+		panic("gp: rff PredictJoint with no points")
+	}
+	m := r.features
+	mean := make([]float64, q)
+	vstore := mat.NewDense(q, m, nil) // row i holds L⁻¹φ(x_i)
+	phi := make([]float64, m)
+	for i, x := range xs {
+		r.featurize(r.normalize(x), phi)
+		mean[i] = r.ymean + r.ystd*mat.Dot(phi, r.wMean)
+		copy(vstore.Row(i), r.chol.ForwardSolveVec(phi))
+	}
+	cov := mat.NewDense(q, q, nil)
+	scale := r.ystd * r.ystd * r.noise
+	for i := 0; i < q; i++ {
+		for j := 0; j <= i; j++ {
+			c := scale * mat.Dot(vstore.Row(i), vstore.Row(j))
+			cov.Set(i, j, c)
+			cov.Set(j, i, c)
+		}
+	}
+	ch, err := mat.NewCholesky(cov, 1e-10, 1e-2)
+	if err != nil {
+		return nil, fmt.Errorf("gp: rff joint covariance not PD: %w", err)
+	}
+	return &surrogate.JointPrediction{Mean: mean, CovChol: ch.L().Clone()}, nil
+}
+
+// Fantasize conditions the weight-space posterior on one extra observation
+// (x, y) without redrawing features or re-standardizing: the normal
+// equations gain a rank-1 term, A' = A + φφᵀ, rhs' = rhs + φ·ỹ. The
+// refactorization is O(M³); acceptable because fantasy updates are not on
+// the Thompson-sampling hot path.
+func (r *RFF) Fantasize(x []float64, y float64) (surrogate.Surrogate, error) {
+	u := r.normalize(x)
+	m := r.features
+	phi := make([]float64, m)
+	r.featurize(u, phi)
+
+	// Rebuild A = L·Lᵀ from the stored factor, then apply the update.
+	l := r.chol.L()
+	a := mat.NewDense(m, m, nil)
+	for i := 0; i < m; i++ {
+		li := l.Row(i)
+		for j := 0; j <= i; j++ {
+			lj := l.Row(j)
+			var s float64
+			for k := 0; k <= j; k++ {
+				s += li[k] * lj[k]
+			}
+			a.Set(i, j, s)
+			a.Set(j, i, s)
+		}
+	}
+	a.SymOuterUpdate(1, phi)
+	ch, err := mat.NewCholesky(a, 0, 0)
+	if err != nil {
+		return nil, fmt.Errorf("gp: rff fantasy refactorization failed: %w", err)
+	}
+
+	ng := &RFF{
+		cfg: r.cfg, features: m, d: r.d,
+		w: r.w, b: r.b, amp: r.amp,
+		ymean: r.ymean, ystd: r.ystd, noise: r.noise,
+		chol: ch,
+	}
+	ng.rhs = mat.CloneVec(r.rhs)
+	mat.AxpyVec((y-r.ymean)/r.ystd, phi, ng.rhs)
+	ng.wMean = ch.SolveVec(ng.rhs)
+	ng.xs = append(append([][]float64(nil), r.xs...), mat.CloneVec(x))
+	ng.ys = append(mat.CloneVec(r.ys), y)
+	return ng, nil
+}
+
+// BestObserved returns the index, point and value of the best training
+// observation under the given optimization sense.
+func (r *RFF) BestObserved(minimize bool) (idx int, x []float64, y float64) {
+	idx = 0
+	y = r.ys[0]
+	for i, v := range r.ys {
+		if (minimize && v < y) || (!minimize && v > y) {
+			idx, y = i, v
+		}
+	}
+	return idx, mat.CloneVec(r.xs[idx]), y
+}
+
+// N returns the number of training points.
+func (r *RFF) N() int { return len(r.ys) }
+
+// Dim returns the input dimension.
+func (r *RFF) Dim() int { return r.d }
+
+// Info implements surrogate.Surrogate. Score is the negative training MSE
+// in raw output units (the weight posterior has no cheap exact LML once
+// the feature expansion replaces the kernel).
+func (r *RFF) Info() surrogate.Info {
+	var mse float64
+	for i, x := range r.xs {
+		mu, _ := r.Predict(x)
+		d := mu - r.ys[i]
+		mse += d * d
+	}
+	mse /= float64(len(r.ys))
+	return surrogate.Info{Family: "RFF", N: len(r.ys), Dim: r.d, Score: -mse}
 }
 
 // SamplePath draws one posterior sample of the latent function as an

@@ -1,6 +1,7 @@
 package optim
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -148,7 +149,7 @@ func TestMultiStartFindsGlobal(t *testing.T) {
 	stream := rng.New(1, 1)
 	ms := &MultiStart{Local: &LBFGSB{MaxIter: 200}}
 	starts := DefaultStarts(8, nil, lo, hi, stream)
-	res := ms.Run(f, starts, lo, hi)
+	res := ms.Run(context.Background(), f, starts, lo, hi)
 	if res.X[0] < 0.5 {
 		t.Fatalf("multistart missed global minimum: %v", res.X)
 	}
@@ -158,8 +159,8 @@ func TestMultiStartParallelMatchesSerial(t *testing.T) {
 	lo, hi := boxOf(4, -3, 3)
 	c := []float64{1, 1, -1, -1}
 	starts := DefaultStarts(6, [][]float64{{0, 0, 0, 0}}, lo, hi, rng.New(2, 2))
-	serial := (&MultiStart{Local: &LBFGSB{}}).Run(quadratic(c), starts, lo, hi)
-	par := (&MultiStart{Local: &LBFGSB{}, Parallel: true}).Run(quadratic(c), starts, lo, hi)
+	serial := (&MultiStart{Local: &LBFGSB{}}).Run(context.Background(), quadratic(c), starts, lo, hi)
+	par := (&MultiStart{Local: &LBFGSB{}, Parallel: true}).Run(context.Background(), quadratic(c), starts, lo, hi)
 	if math.Abs(serial.F-par.F) > 1e-12 {
 		t.Fatalf("parallel result differs: %v vs %v", serial.F, par.F)
 	}
@@ -171,7 +172,7 @@ func TestMultiStartNoStartsPanics(t *testing.T) {
 			t.Fatal("expected panic with zero starts")
 		}
 	}()
-	(&MultiStart{Local: &LBFGSB{}}).Run(quadratic([]float64{0}), nil, []float64{0}, []float64{1})
+	(&MultiStart{Local: &LBFGSB{}}).Run(context.Background(), quadratic([]float64{0}), nil, []float64{0}, []float64{1})
 }
 
 func TestDefaultStartsWithinBox(t *testing.T) {

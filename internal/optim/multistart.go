@@ -1,7 +1,9 @@
 package optim
 
 import (
+	"context"
 	"fmt"
+	"math"
 	"runtime"
 
 	"repro/internal/mat"
@@ -20,7 +22,14 @@ type MultiStart struct {
 }
 
 // Run minimizes f from the given starting points within the box [lo, hi].
-func (m *MultiStart) Run(f GradObjective, starts [][]float64, lo, hi []float64) Result {
+//
+// When ctx is cancelled mid-run, starts that have not begun are skipped and
+// the best result among the completed starts is returned; if no start
+// completed, the result carries F = +Inf and the first start point. Run
+// itself does not return an error — partial restarts are still a valid
+// (if weaker) acquisition answer; callers that need to distinguish check
+// ctx.Err() themselves.
+func (m *MultiStart) Run(ctx context.Context, f GradObjective, starts [][]float64, lo, hi []float64) Result {
 	if len(starts) == 0 {
 		panic("optim: MultiStart requires at least one starting point")
 	}
@@ -28,21 +37,35 @@ func (m *MultiStart) Run(f GradObjective, starts [][]float64, lo, hi []float64) 
 		panic("optim: MultiStart requires a local optimizer")
 	}
 	results := make([]Result, len(starts))
+	completed := make([]bool, len(starts))
 	workers := 1
 	if m.Parallel {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	parallel.ForEach(workers, len(starts), func(i int) {
+	if err := parallel.ForEach(ctx, workers, len(starts), func(i int) {
 		results[i] = m.Local.Minimize(f, starts[i], lo, hi)
-	})
-	best := results[0]
+		completed[i] = true
+	}); err != nil {
+		// Cancelled: fall through and rank whatever completed.
+	}
+	var best Result
+	haveBest := false
 	evals, iters := 0, 0
 	for _, r := range results {
 		evals += r.Evals
 		iters += r.Iters
-		if r.F < best.F {
-			best = r
+	}
+	for i, r := range results {
+		if !completed[i] {
+			continue
 		}
+		if !haveBest || r.F < best.F {
+			best = r
+			haveBest = true
+		}
+	}
+	if !haveBest {
+		best = Result{X: mat.CloneVec(starts[0]), F: math.Inf(1)}
 	}
 	best.Evals = evals
 	best.Iters = iters

@@ -9,6 +9,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -59,7 +60,14 @@ type BatchResult struct {
 
 // EvalBatch evaluates all points of the batch, in parallel, and returns the
 // values together with the virtual duration of the round.
-func (p *Pool) EvalBatch(ev Evaluator, xs [][]float64) BatchResult {
+//
+// Cancellation drains rather than kills: members that have not yet started
+// when ctx is cancelled are skipped, members already running finish (a
+// black-box simulation cannot be interrupted mid-flight), and EvalBatch
+// returns only after every worker goroutine has exited. A non-nil error is
+// returned exactly when at least one member went unevaluated; the
+// BatchResult is then unusable and callers must discard the batch.
+func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (BatchResult, error) {
 	q := len(xs)
 	if q == 0 {
 		panic("parallel: empty batch")
@@ -67,6 +75,7 @@ func (p *Pool) EvalBatch(ev Evaluator, xs [][]float64) BatchResult {
 	start := time.Now()
 	ys := make([]float64, q)
 	costs := make([]time.Duration, q)
+	evaluated := make([]bool, q)
 
 	workers := p.Workers
 	if workers <= 0 || workers > q {
@@ -80,10 +89,19 @@ func (p *Pool) EvalBatch(ev Evaluator, xs [][]float64) BatchResult {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return // cancelled before this member started
+			}
 			ys[i], costs[i] = ev.Eval(x)
+			evaluated[i] = true
 		}(i, x)
 	}
-	wg.Wait()
+	wg.Wait() // drain: all workers have exited past this point
+	for _, ok := range evaluated {
+		if !ok {
+			return BatchResult{}, fmt.Errorf("parallel: batch abandoned: %w", ctx.Err())
+		}
+	}
 
 	// Batch-synchronous schedule: the round lasts as long as its slowest
 	// member. With fewer workers than batch members, rounds serialize in
@@ -115,7 +133,7 @@ func (p *Pool) EvalBatch(ev Evaluator, xs [][]float64) BatchResult {
 	if p.Overhead != nil {
 		virtual += p.Overhead(q)
 	}
-	return BatchResult{Y: ys, Virtual: virtual, Real: time.Since(start)}
+	return BatchResult{Y: ys, Virtual: virtual, Real: time.Since(start)}, nil
 }
 
 // ForEach runs fn(i) for every i in [0,n) on at most workers goroutines
@@ -129,18 +147,25 @@ func (p *Pool) EvalBatch(ev Evaluator, xs [][]float64) BatchResult {
 // statements elsewhere, keeping the batch size q the single parallelism
 // knob of the system. fn must write only to per-index state; ForEach
 // provides no locking.
-func ForEach(workers, n int, fn func(i int)) {
+//
+// Cancelling ctx stops workers between iterations: calls already in fn
+// complete, no new indices are dispatched, and ForEach returns ctx.Err().
+// A nil error means fn ran for every index.
+func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	if n <= 0 {
-		return
+		return ctx.Err()
 	}
 	if workers <= 0 || workers > n {
 		workers = n
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
 			fn(i)
 		}
-		return
+		return ctx.Err()
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -148,11 +173,15 @@ func ForEach(workers, n int, fn func(i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				fn(i)
 			}
 		}(w)
 	}
 	wg.Wait()
+	return ctx.Err()
 }
 
 // LinearOverhead returns an overhead model base + perEval·q, matching the

@@ -1,6 +1,8 @@
 package parallel
 
 import (
+	"context"
+	"errors"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -14,11 +16,22 @@ func sum(x []float64) float64 {
 	return s
 }
 
+// mustEvalBatch fails the test on a cancellation error; used by the
+// happy-path tests that run under context.Background().
+func mustEvalBatch(t *testing.T, p *Pool, ev Evaluator, xs [][]float64) BatchResult {
+	t.Helper()
+	br, err := p.EvalBatch(context.Background(), ev, xs)
+	if err != nil {
+		t.Fatalf("EvalBatch: %v", err)
+	}
+	return br
+}
+
 func TestEvalBatchValuesAligned(t *testing.T) {
 	ev := FixedCost(sum, time.Second)
 	p := &Pool{}
 	xs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
-	br := p.EvalBatch(ev, xs)
+	br := mustEvalBatch(t, p, ev, xs)
 	want := []float64{3, 7, 11}
 	for i := range want {
 		if br.Y[i] != want[i] {
@@ -34,7 +47,7 @@ func TestEvalBatchVirtualIsMax(t *testing.T) {
 		return x[0], time.Duration(x[0]) * time.Second
 	})
 	p := &Pool{}
-	br := p.EvalBatch(ev, [][]float64{{2}, {5}, {1}})
+	br := mustEvalBatch(t, p, ev, [][]float64{{2}, {5}, {1}})
 	if br.Virtual != 5*time.Second {
 		t.Fatalf("virtual = %v, want 5s", br.Virtual)
 	}
@@ -43,7 +56,7 @@ func TestEvalBatchVirtualIsMax(t *testing.T) {
 func TestEvalBatchOverheadAdded(t *testing.T) {
 	ev := FixedCost(sum, time.Second)
 	p := &Pool{Overhead: LinearOverhead(100*time.Millisecond, 50*time.Millisecond)}
-	br := p.EvalBatch(ev, [][]float64{{1}, {2}, {3}, {4}})
+	br := mustEvalBatch(t, p, ev, [][]float64{{1}, {2}, {3}, {4}})
 	want := time.Second + 100*time.Millisecond + 4*50*time.Millisecond
 	if br.Virtual != want {
 		t.Fatalf("virtual = %v, want %v", br.Virtual, want)
@@ -53,7 +66,7 @@ func TestEvalBatchOverheadAdded(t *testing.T) {
 func TestEvalBatchLimitedWorkersWavePacking(t *testing.T) {
 	ev := FixedCost(sum, 10*time.Second)
 	p := &Pool{Workers: 2}
-	br := p.EvalBatch(ev, [][]float64{{1}, {2}, {3}, {4}, {5}})
+	br := mustEvalBatch(t, p, ev, [][]float64{{1}, {2}, {3}, {4}, {5}})
 	// 5 evals on 2 workers: 3 waves of 10s.
 	if br.Virtual != 30*time.Second {
 		t.Fatalf("virtual = %v, want 30s", br.Virtual)
@@ -66,7 +79,9 @@ func TestEvalBatchEmptyPanics(t *testing.T) {
 			t.Fatal("expected panic for empty batch")
 		}
 	}()
-	(&Pool{}).EvalBatch(FixedCost(sum, 0), nil)
+	if _, err := (&Pool{}).EvalBatch(context.Background(), FixedCost(sum, 0), nil); err != nil {
+		t.Fatalf("EvalBatch: %v", err)
+	}
 }
 
 func TestEvalBatchActuallyConcurrent(t *testing.T) {
@@ -78,17 +93,71 @@ func TestEvalBatchActuallyConcurrent(t *testing.T) {
 	})
 	p := &Pool{}
 	start := time.Now()
-	p.EvalBatch(ev, make([][]float64, 8))
+	mustEvalBatch(t, p, ev, make([][]float64, 8))
 	if elapsed := time.Since(start); elapsed > 150*time.Millisecond {
 		t.Fatalf("batch took %v, expected concurrent execution", elapsed)
+	}
+}
+
+func TestEvalBatchCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	calls := int32(0)
+	ev := EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+		atomic.AddInt32(&calls, 1)
+		return 0, 0
+	})
+	_, err := (&Pool{}).EvalBatch(ctx, ev, [][]float64{{1}, {2}})
+	if err == nil {
+		t.Fatal("expected error from pre-cancelled context")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&calls); got != 0 {
+		t.Fatalf("evaluator ran %d times after cancel", got)
+	}
+}
+
+func TestEvalBatchCancelMidBatchDrains(t *testing.T) {
+	// One worker, four members: cancel while the first member is in
+	// flight. The in-flight member completes (drain semantics), later
+	// members are skipped, and EvalBatch reports the abandoned batch.
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var calls int32
+	ev := EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			close(started)
+			time.Sleep(20 * time.Millisecond)
+		}
+		return x[0], 0
+	})
+	p := &Pool{Workers: 1}
+	done := make(chan error, 1)
+	go func() {
+		_, err := p.EvalBatch(ctx, ev, [][]float64{{1}, {2}, {3}, {4}})
+		done <- err
+	}()
+	<-started
+	cancel()
+	err := <-done
+	if err == nil {
+		t.Fatal("expected abandoned-batch error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want wrapped context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&calls); got >= 4 {
+		t.Fatalf("all %d members ran despite cancellation", got)
 	}
 }
 
 func TestCountingEvaluator(t *testing.T) {
 	ce := NewCounting(FixedCost(sum, 0))
 	p := &Pool{}
-	p.EvalBatch(ce, [][]float64{{1}, {2}})
-	p.EvalBatch(ce, [][]float64{{3}})
+	mustEvalBatch(t, p, ce, [][]float64{{1}, {2}})
+	mustEvalBatch(t, p, ce, [][]float64{{3}})
 	if ce.Count() != 3 {
 		t.Fatalf("count = %d", ce.Count())
 	}
@@ -105,9 +174,11 @@ func TestForEachRunsEveryIndexOnce(t *testing.T) {
 	for _, workers := range []int{-1, 0, 1, 2, 3, 7, 64} {
 		n := 23
 		counts := make([]int32, n)
-		ForEach(workers, n, func(i int) {
+		if err := ForEach(context.Background(), workers, n, func(i int) {
 			atomic.AddInt32(&counts[i], 1)
-		})
+		}); err != nil {
+			t.Fatalf("ForEach: %v", err)
+		}
 		for i, c := range counts {
 			if c != 1 {
 				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
@@ -119,7 +190,7 @@ func TestForEachRunsEveryIndexOnce(t *testing.T) {
 func TestForEachBoundsConcurrency(t *testing.T) {
 	const workers, n = 3, 24
 	var cur, peak int32
-	ForEach(workers, n, func(int) {
+	if err := ForEach(context.Background(), workers, n, func(int) {
 		c := atomic.AddInt32(&cur, 1)
 		for {
 			p := atomic.LoadInt32(&peak)
@@ -129,7 +200,9 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 		atomic.AddInt32(&cur, -1)
-	})
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
 	if peak > workers {
 		t.Fatalf("observed %d concurrent calls, worker bound is %d", peak, workers)
 	}
@@ -137,9 +210,43 @@ func TestForEachBoundsConcurrency(t *testing.T) {
 
 func TestForEachEmpty(t *testing.T) {
 	ran := false
-	ForEach(4, 0, func(int) { ran = true })
-	ForEach(4, -3, func(int) { ran = true })
+	if err := ForEach(context.Background(), 4, 0, func(int) { ran = true }); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if err := ForEach(context.Background(), 4, -3, func(int) { ran = true }); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
 	if ran {
 		t.Fatal("fn ran for n <= 0")
+	}
+}
+
+func TestForEachCancelledStopsDispatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := int32(0)
+	err := ForEach(ctx, 2, 100, func(int) { atomic.AddInt32(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got != 0 {
+		t.Fatalf("fn ran %d times after cancel", got)
+	}
+}
+
+func TestForEachCancelMidRunSerial(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	ran := 0
+	err := ForEach(ctx, 1, 10, func(i int) {
+		ran++
+		if i == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 4 {
+		t.Fatalf("fn ran %d times, want 4 (indices 0..3)", ran)
 	}
 }

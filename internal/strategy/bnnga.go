@@ -1,13 +1,14 @@
 package strategy
 
 import (
+	"context"
 	"math"
 	"sort"
 
 	"repro/internal/bnn"
 	"repro/internal/core"
-	"repro/internal/gp"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // BNNGA is the batched Bayesian-Neural-Network-assisted genetic algorithm
@@ -16,10 +17,11 @@ import (
 // ensemble on all observations, evolves a population against a
 // lower-confidence-bound merit computed from the ensemble (mean −
 // β·disagreement for minimization), and promotes the q best distinct
-// individuals of the final population to real evaluation. The GP model
-// fitted by the engine is ignored: this strategy brings its own surrogate,
-// which is exactly its selling point — training time linear in the data
-// set, no O(n³) wall.
+// individuals of the final population to real evaluation. The strategy
+// brings its own surrogate — training time linear in the data set, no
+// O(n³) wall — and implements core.ModelProvider, so the engine performs
+// no GP fit at all for BNN-GA cycles and the ensemble training is charged
+// to FitTime where it belongs.
 type BNNGA struct {
 	// Net configures ensemble training; bounds/seed fields are managed by
 	// the strategy.
@@ -57,8 +59,13 @@ func (s *BNNGA) APParallelism(int) int {
 	return m
 }
 
-// Propose implements core.Strategy.
-func (s *BNNGA) Propose(_ *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+// FitModel implements core.ModelProvider: train the deep ensemble on all
+// observations. The engine charges this to FitTime.
+func (s *BNNGA) FitModel(ctx context.Context, st *core.State, cycle int, stream *rng.Stream) (surrogate.Surrogate, error) {
+	return s.train(st, stream)
+}
+
+func (s *BNNGA) train(st *core.State, stream *rng.Stream) (*bnn.Ensemble, error) {
 	p := st.Problem
 	cfg := s.Net
 	cfg.Lo, cfg.Hi = p.Lo, p.Hi
@@ -67,9 +74,21 @@ func (s *BNNGA) Propose(_ *gp.GP, st *core.State, q int, stream *rng.Stream) ([]
 		// Keep per-cycle training cost bounded as the archive grows.
 		cfg.Epochs = 80
 	}
-	ens, err := bnn.Fit(st.X, st.Y, cfg)
-	if err != nil {
-		return nil, err
+	return bnn.Fit(st.X, st.Y, cfg)
+}
+
+// Propose implements core.Strategy. Via the engine, model is the ensemble
+// trained by FitModel; when called directly with another surrogate (tests,
+// ablation harnesses) a fresh ensemble is trained here.
+func (s *BNNGA) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+	p := st.Problem
+	ens, ok := model.(*bnn.Ensemble)
+	if !ok {
+		var err error
+		ens, err = s.train(st, stream)
+		if err != nil {
+			return nil, err
+		}
 	}
 
 	beta := s.Beta

@@ -1,14 +1,15 @@
 package strategy
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/acq"
 	"repro/internal/core"
-	"repro/internal/gp"
 	"repro/internal/mat"
 	"repro/internal/parallel"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // BSPEGO is Binary Space Partitioning EGO (Gobert et al., 2020): the
@@ -110,7 +111,7 @@ func (s *BSPEGO) refreshLeaves() {
 }
 
 // Propose implements core.Strategy.
-func (s *BSPEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+func (s *BSPEGO) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
 	p := st.Problem
 	over := s.OverSample
 	if over < 1 {
@@ -131,12 +132,16 @@ func (s *BSPEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream
 	for i := range streams {
 		streams[i] = stream.Split(uint64(i))
 	}
-	parallel.ForEach(0, len(s.leaves), func(i int) {
+	if err := parallel.ForEach(ctx, 0, len(s.leaves), func(i int) {
 		leaf := s.leaves[i]
 		ei := &acq.EI{Best: st.BestY, Minimize: p.Minimize}
-		x, v := s.Opt.Maximize(model, ei, leaf.lo, leaf.hi, nil, streams[i])
+		x, v := s.Opt.Maximize(ctx, model, ei, leaf.lo, leaf.hi, nil, streams[i])
 		leaf.bestX, leaf.score = x, v
-	})
+	}); err != nil {
+		// Cancelled mid-sweep: some leaves carry no candidate, so the
+		// ranking below would be meaningless. The engine stops the run.
+		return nil, err
+	}
 
 	// Rank candidates by infill value and keep the top q.
 	order := make([]int, len(s.leaves))

@@ -1,12 +1,15 @@
 package strategy
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 func TestExtendedRegistry(t *testing.T) {
@@ -30,7 +33,7 @@ func TestExtendedStrategiesProposeValidBatches(t *testing.T) {
 			t.Fatal(err)
 		}
 		s.Reset()
-		batch, err := s.Propose(m, st, 3, rng.New(31, 31))
+		batch, err := s.Propose(context.Background(), m, st, 3, rng.New(31, 31))
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
@@ -42,7 +45,7 @@ func TestTSRFFBatchDiversity(t *testing.T) {
 	p := sphereProblem()
 	m, st := fitState(t, p, 12) // few points: posterior wide, paths differ
 	s := NewTSRFF()
-	batch, err := s.Propose(m, st, 4, rng.New(32, 32))
+	batch, err := s.Propose(context.Background(), m, st, 4, rng.New(32, 32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +70,7 @@ func TestLocalPenalizationSpreadsBatch(t *testing.T) {
 	p := sphereProblem()
 	m, st := fitState(t, p, 20)
 	s := NewLocalPenalization()
-	batch, err := s.Propose(m, st, 3, rng.New(33, 33))
+	batch, err := s.Propose(context.Background(), m, st, 3, rng.New(33, 33))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +99,7 @@ func TestBNNGABatchDistinct(t *testing.T) {
 	m, st := fitState(t, p, 24)
 	s := NewBNNGA()
 	s.Net.Epochs = 30 // keep the test fast
-	batch, err := s.Propose(m, st, 4, rng.New(35, 35))
+	batch, err := s.Propose(context.Background(), m, st, 4, rng.New(35, 35))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,12 +136,54 @@ func TestExtendedStrategiesEndToEnd(t *testing.T) {
 			Model:          core.ModelConfig{Restarts: 1, MaxIter: 10, FitSubsetMax: 48},
 			Seed:           36,
 		}
-		res, err := e.Run()
+		res, err := e.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if res.BestY > 3 {
 			t.Fatalf("%s: final best %v too poor", name, res.BestY)
+		}
+	}
+}
+
+// tripwireFactory fails the test if the engine ever asks it for a
+// surrogate: ModelProvider strategies must bypass the engine-side GP fit.
+type tripwireFactory struct{ calls int }
+
+func (f *tripwireFactory) Fit(context.Context, *core.State, int) (surrogate.Surrogate, error) {
+	f.calls++
+	return nil, errors.New("engine-side fit must not run for ModelProvider strategies")
+}
+
+func TestBNNGATrainingChargedToFitTime(t *testing.T) {
+	s := NewBNNGA()
+	s.Net.Epochs = 25
+	s.Net.Members = 3
+	f := &tripwireFactory{}
+	e := &core.Engine{
+		Problem:        sphereProblem(),
+		Strategy:       s,
+		BatchSize:      2,
+		InitSamples:    8,
+		Budget:         time.Hour,
+		MaxCycles:      2,
+		OverheadFactor: 1,
+		Factory:        f,
+		Seed:           37,
+	}
+	res, err := e.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.calls != 0 {
+		t.Fatalf("engine performed %d GP fits for BNN-GA", f.calls)
+	}
+	if len(res.History) != 2 {
+		t.Fatalf("history = %d", len(res.History))
+	}
+	for _, rec := range res.History {
+		if rec.FitTime <= 0 {
+			t.Fatalf("cycle %d: ensemble training not charged to FitTime: %+v", rec.Cycle, rec)
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package strategy
 
 import (
+	"context"
+
 	"repro/internal/acq"
 	"repro/internal/core"
-	"repro/internal/gp"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // KBQEGO is q-EGO with the Kriging Believer heuristic of Ginsbourger, Le
@@ -33,7 +35,7 @@ func (s *KBQEGO) Reset() {}
 func (s *KBQEGO) Observe(*core.State, [][]float64, []float64) {}
 
 // Propose implements core.Strategy.
-func (s *KBQEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+func (s *KBQEGO) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
 	p := st.Problem
 	batch := make([][]float64, 0, q)
 	cur := model
@@ -42,7 +44,7 @@ func (s *KBQEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream
 	best := st.BestY
 	for i := 0; i < q; i++ {
 		ei := &acq.EI{Best: best, Minimize: p.Minimize, Xi: s.Xi}
-		x, _ := s.Opt.Maximize(cur, ei, p.Lo, p.Hi, incumbent(st), stream.Split(uint64(i)))
+		x, _ := s.Opt.Maximize(ctx, cur, ei, p.Lo, p.Hi, incumbent(st), stream.Split(uint64(i)))
 		batch = append(batch, x)
 		if i == q-1 {
 			break

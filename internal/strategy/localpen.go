@@ -1,13 +1,14 @@
 package strategy
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/acq"
 	"repro/internal/core"
-	"repro/internal/gp"
 	"repro/internal/optim"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // LocalPenalization is the batch AP of González et al. (2016), one of the
@@ -45,7 +46,7 @@ func (s *LocalPenalization) APParallelism(int) int { return 1 }
 
 // estimateLipschitz probes the posterior-mean gradient at Sobol points and
 // returns the largest norm found (the usual plug-in estimate of L).
-func (s *LocalPenalization) estimateLipschitz(model *gp.GP, lo, hi []float64, stream *rng.Stream) float64 {
+func (s *LocalPenalization) estimateLipschitz(model surrogate.Surrogate, lo, hi []float64, stream *rng.Stream) float64 {
 	n := s.LipschitzSamples
 	if n <= 0 {
 		n = 64
@@ -68,7 +69,7 @@ func (s *LocalPenalization) estimateLipschitz(model *gp.GP, lo, hi []float64, st
 }
 
 // Propose implements core.Strategy.
-func (s *LocalPenalization) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+func (s *LocalPenalization) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
 	p := st.Problem
 	lip := s.estimateLipschitz(model, p.Lo, p.Hi, stream.Split(0))
 
@@ -120,7 +121,7 @@ func (s *LocalPenalization) Propose(model *gp.GP, st *core.State, q int, stream 
 		sub := stream.Split(uint64(i + 1))
 		starts := optim.DefaultStarts(s.Opt.defaults().Starts, incumbent(st), p.Lo, p.Hi, sub)
 		ms := &optim.MultiStart{Local: &optim.LBFGSB{MaxIter: s.Opt.defaults().MaxIter, GTol: 1e-8}}
-		res := ms.Run(optim.NumGrad(penalizedNegEI, 1e-7), starts, p.Lo, p.Hi)
+		res := ms.Run(ctx, optim.NumGrad(penalizedNegEI, 1e-7), starts, p.Lo, p.Hi)
 		batch = append(batch, res.X)
 	}
 	return batch, nil

@@ -1,11 +1,13 @@
 package strategy
 
 import (
+	"context"
+
 	"repro/internal/acq"
 	"repro/internal/core"
-	"repro/internal/gp"
 	"repro/internal/optim"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // MCQEGO is MC-based q-EGO (Balandat et al., BoTorch): the joint
@@ -41,14 +43,14 @@ func (s *MCQEGO) Reset() {}
 func (s *MCQEGO) Observe(*core.State, [][]float64, []float64) {}
 
 // Propose implements core.Strategy.
-func (s *MCQEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
-	return proposeJointQEI(model, st, q, st.Problem.Lo, st.Problem.Hi,
+func (s *MCQEGO) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+	return proposeJointQEI(ctx, model, st, q, st.Problem.Lo, st.Problem.Hi,
 		s.Samples, s.Starts, s.EvalBudget, stream)
 }
 
 // proposeJointQEI optimizes MC q-EI jointly over a (possibly restricted)
 // box — shared by MC-based q-EGO (full domain) and TuRBO (trust region).
-func proposeJointQEI(model *gp.GP, st *core.State, q int, lo, hi []float64,
+func proposeJointQEI(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, lo, hi []float64,
 	samples, starts, evalBudget int, stream *rng.Stream) ([][]float64, error) {
 
 	p := st.Problem
@@ -107,7 +109,7 @@ func proposeJointQEI(model *gp.GP, st *core.State, q int, lo, hi []float64,
 		Local:    &optim.LBFGSB{MaxIter: maxIter, GTol: 1e-9},
 		Parallel: true,
 	}
-	res := ms.Run(grad, flatStarts, flo, fhi)
+	res := ms.Run(ctx, grad, flatStarts, flo, fhi)
 	return unflatten(res.X, q, d), nil
 }
 

@@ -1,12 +1,13 @@
 package strategy
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/acq"
 	"repro/internal/core"
-	"repro/internal/gp"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // Criterion names accepted by MICQEGO.
@@ -62,7 +63,7 @@ func (s *MICQEGO) criterion(name string, best float64, minimize bool) (acq.Acqui
 }
 
 // Propose implements core.Strategy.
-func (s *MICQEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+func (s *MICQEGO) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
 	p := st.Problem
 	crits := s.Criteria
 	if len(crits) == 0 {
@@ -85,7 +86,7 @@ func (s *MICQEGO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Strea
 			if err != nil {
 				return nil, err
 			}
-			x, _ := s.Opt.Maximize(cur, af, p.Lo, p.Hi, incumbent(st),
+			x, _ := s.Opt.Maximize(ctx, cur, af, p.Lo, p.Hi, incumbent(st),
 				stream.Split(uint64(round*16+ci)))
 			roundPts = append(roundPts, x)
 		}

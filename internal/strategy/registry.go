@@ -9,6 +9,19 @@ import (
 // Names of the five paper strategies, in the paper's presentation order.
 var Names = []string{"KB-q-EGO", "mic-q-EGO", "MC-based q-EGO", "BSP-EGO", "TuRBO"}
 
+// Interface conformance: every strategy satisfies core.Strategy, and the
+// self-modeled ones additionally provide their own surrogate fit.
+var (
+	_ core.Strategy      = (*KBQEGO)(nil)
+	_ core.Strategy      = (*MICQEGO)(nil)
+	_ core.Strategy      = (*MCQEGO)(nil)
+	_ core.Strategy      = (*BSPEGO)(nil)
+	_ core.Strategy      = (*TuRBO)(nil)
+	_ core.Strategy      = (*LocalPenalization)(nil)
+	_ core.ModelProvider = (*TSRFF)(nil)
+	_ core.ModelProvider = (*BNNGA)(nil)
+)
+
 // ByName constructs a fresh strategy from its paper name.
 func ByName(name string) (core.Strategy, error) {
 	switch name {

@@ -8,12 +8,14 @@
 package strategy
 
 import (
+	"context"
+
 	"repro/internal/acq"
 	"repro/internal/core"
-	"repro/internal/gp"
 	"repro/internal/mat"
 	"repro/internal/optim"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // AFOpt bundles the shared knobs of single-point acquisition optimization
@@ -45,8 +47,9 @@ func (o AFOpt) defaults() AFOpt {
 
 // Maximize finds argmax of the acquisition function over [lo, hi] using
 // multi-start L-BFGS with the model's gradient information. Anchors (e.g.
-// the incumbent) seed additional perturbed starts.
-func (o AFOpt) Maximize(m *gp.GP, af acq.Acquisition, lo, hi []float64, anchors [][]float64, stream *rng.Stream) ([]float64, float64) {
+// the incumbent) seed additional perturbed starts. Cancelling ctx skips
+// pending restarts; the best completed restart is still returned.
+func (o AFOpt) Maximize(ctx context.Context, m surrogate.Surrogate, af acq.Acquisition, lo, hi []float64, anchors [][]float64, stream *rng.Stream) ([]float64, float64) {
 	cfg := o.defaults()
 	obj := func(x, grad []float64) float64 {
 		v := af.EvalWithGrad(m, x, grad)
@@ -60,7 +63,7 @@ func (o AFOpt) Maximize(m *gp.GP, af acq.Acquisition, lo, hi []float64, anchors 
 		Local:    &optim.LBFGSB{MaxIter: cfg.MaxIter, GTol: 1e-7},
 		Parallel: cfg.Parallel,
 	}
-	res := ms.Run(obj, starts, lo, hi)
+	res := ms.Run(ctx, obj, starts, lo, hi)
 	return res.X, -res.F
 }
 

@@ -1,6 +1,7 @@
 package strategy
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -65,7 +66,7 @@ func TestAllStrategiesProposeValidBatches(t *testing.T) {
 	for _, s := range All() {
 		s.Reset()
 		for _, q := range []int{1, 2, 4} {
-			batch, err := s.Propose(m, st, q, rng.New(3, uint64(q)))
+			batch, err := s.Propose(context.Background(), m, st, q, rng.New(3, uint64(q)))
 			if err != nil {
 				t.Fatalf("%s q=%d: %v", s.Name(), q, err)
 			}
@@ -79,7 +80,7 @@ func TestStrategiesProposeDistinctCandidates(t *testing.T) {
 	m, st := fitState(t, p, 16)
 	for _, s := range All() {
 		s.Reset()
-		batch, err := s.Propose(m, st, 4, rng.New(4, 4))
+		batch, err := s.Propose(context.Background(), m, st, 4, rng.New(4, 4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +109,7 @@ func TestKBProposalsNearPredictedOptimum(t *testing.T) {
 	p := sphereProblem()
 	m, st := fitState(t, p, 24)
 	s := NewKBQEGO()
-	batch, err := s.Propose(m, st, 2, rng.New(5, 5))
+	batch, err := s.Propose(context.Background(), m, st, 2, rng.New(5, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestBSPPartitionInvariants(t *testing.T) {
 	s := NewBSPEGO()
 	q := 4
 	for cycle := 0; cycle < 5; cycle++ {
-		batch, err := s.Propose(m, st, q, rng.New(6, uint64(cycle)))
+		batch, err := s.Propose(context.Background(), m, st, q, rng.New(6, uint64(cycle)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -186,7 +187,7 @@ func TestBSPResetClearsTree(t *testing.T) {
 	p := sphereProblem()
 	m, st := fitState(t, p, 16)
 	s := NewBSPEGO()
-	if _, err := s.Propose(m, st, 2, rng.New(8, 8)); err != nil {
+	if _, err := s.Propose(context.Background(), m, st, 2, rng.New(8, 8)); err != nil {
 		t.Fatal(err)
 	}
 	if s.root == nil {
@@ -203,7 +204,7 @@ func TestTuRBOTrustRegionContainsIncumbentAndShrinks(t *testing.T) {
 	m, st := fitState(t, p, 16)
 	s := NewTuRBO()
 	s.Reset()
-	if _, err := s.Propose(m, st, 2, rng.New(9, 1)); err != nil {
+	if _, err := s.Propose(context.Background(), m, st, 2, rng.New(9, 1)); err != nil {
 		t.Fatal(err)
 	}
 	lo, hi := s.trustRegion(m, st)
@@ -268,7 +269,7 @@ func TestTuRBOMultiInfillVariant(t *testing.T) {
 	s := NewTuRBO()
 	s.MultiInfill = true
 	s.Reset()
-	batch, err := s.Propose(m, st, 4, rng.New(10, 10))
+	batch, err := s.Propose(context.Background(), m, st, 4, rng.New(10, 10))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -329,7 +330,7 @@ func TestStrategiesOptimizeSphereEndToEnd(t *testing.T) {
 			Model:          core.ModelConfig{Restarts: 1, MaxIter: 15, FitSubsetMax: 64},
 			Seed:           11,
 		}
-		res, err := e.Run()
+		res, err := e.Run(context.Background())
 		if err != nil {
 			t.Fatalf("%s: %v", s.Name(), err)
 		}

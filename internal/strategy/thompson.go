@@ -1,10 +1,13 @@
 package strategy
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/gp"
 	"repro/internal/optim"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // TSRFF is a Thompson-sampling batch acquisition process over random
@@ -17,11 +20,21 @@ import (
 // q and embarrassingly parallel. This is one of the information-based
 // batch APs the paper's survey section classifies (Thompson Sampling) and
 // an instance of the "fast-to-fit surrogate" remedy of §4.
+//
+// TSRFF implements core.ModelProvider: it maintains its own small GP for
+// hyperparameters and rebuilds the RFF model each cycle, so the engine
+// skips its GP fit and the RFF construction is charged to FitTime.
 type TSRFF struct {
 	// Features is the RFF feature count (default 192).
 	Features int
 	// Starts and MaxIter configure each path optimization.
 	Starts, MaxIter int
+	// HyperRefitEvery re-optimizes the internal hyperparameter GP every
+	// k-th cycle, re-factorizing in between (default 3, the engine's
+	// default GP schedule).
+	HyperRefitEvery int
+
+	hyperGP *gp.GP
 }
 
 // NewTSRFF returns the default configuration.
@@ -30,8 +43,8 @@ func NewTSRFF() *TSRFF { return &TSRFF{Features: 192, Starts: 3, MaxIter: 40} }
 // Name implements core.Strategy.
 func (s *TSRFF) Name() string { return "TS-RFF" }
 
-// Reset implements core.Strategy (stateless).
-func (s *TSRFF) Reset() {}
+// Reset implements core.Strategy.
+func (s *TSRFF) Reset() { s.hyperGP = nil }
 
 // Observe implements core.Strategy (stateless).
 func (s *TSRFF) Observe(*core.State, [][]float64, []float64) {}
@@ -40,18 +53,58 @@ func (s *TSRFF) Observe(*core.State, [][]float64, []float64) {}
 // is independent.
 func (s *TSRFF) APParallelism(q int) int { return q }
 
-// Propose implements core.Strategy.
-func (s *TSRFF) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+// FitModel implements core.ModelProvider: refresh the internal
+// hyperparameter GP on its refit schedule, then build the cycle's RFF
+// approximation from it. The engine charges this to FitTime.
+func (s *TSRFF) FitModel(ctx context.Context, st *core.State, cycle int, stream *rng.Stream) (surrogate.Surrogate, error) {
 	p := st.Problem
-	rff, err := gp.FitRFF(st.X, st.Y, gp.RFFConfig{
+	refitEvery := s.HyperRefitEvery
+	if refitEvery <= 0 {
+		refitEvery = 3
+	}
+	var err error
+	switch {
+	case s.hyperGP == nil:
+		s.hyperGP, err = gp.Fit(st.X, st.Y, gp.Config{Lo: p.Lo, Hi: p.Hi, Seed: stream.Uint64()})
+	case (cycle-1)%refitEvery == 0:
+		s.hyperGP, err = gp.Refit(s.hyperGP, st.X, st.Y)
+	default:
+		s.hyperGP, err = gp.WithData(s.hyperGP, st.X, st.Y)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return s.buildRFF(st, stream)
+}
+
+func (s *TSRFF) buildRFF(st *core.State, stream *rng.Stream) (*gp.RFF, error) {
+	p := st.Problem
+	return gp.FitRFF(st.X, st.Y, gp.RFFConfig{
 		Config: gp.Config{
 			Lo: p.Lo, Hi: p.Hi,
 			Seed: stream.Uint64(),
 		},
 		Features: s.Features,
-	}, model)
-	if err != nil {
-		return nil, err
+	}, s.hyperGP)
+}
+
+// Propose implements core.Strategy. Via the engine, model is the RFF built
+// by FitModel; when called directly with a GP surrogate (tests, ablation
+// harnesses) the RFF is built here from that GP's hyperparameters.
+func (s *TSRFF) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+	p := st.Problem
+	rff, ok := model.(*gp.RFF)
+	if !ok {
+		hyper, isGP := model.(*gp.GP)
+		if !isGP {
+			return nil, surrogate.ErrUnsupported
+		}
+		s.hyperGP = hyper
+		var err error
+		rff, err = s.buildRFF(st, stream)
+		if err != nil {
+			return nil, err
+		}
 	}
 	batch := make([][]float64, 0, q)
 	sign := 1.0
@@ -73,7 +126,7 @@ func (s *TSRFF) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream)
 		}
 		starts := optim.DefaultStarts(s.Starts, incumbent(st), p.Lo, p.Hi, pathStream)
 		ms := &optim.MultiStart{Local: &optim.LBFGSB{MaxIter: s.MaxIter, GTol: 1e-7}}
-		res := ms.Run(obj, starts, p.Lo, p.Hi)
+		res := ms.Run(ctx, obj, starts, p.Lo, p.Hi)
 		batch = append(batch, res.X)
 	}
 	return batch, nil

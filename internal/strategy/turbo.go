@@ -1,13 +1,14 @@
 package strategy
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/acq"
 	"repro/internal/core"
 	"repro/internal/fp"
-	"repro/internal/gp"
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 // TuRBO is TuRBO-1 (Eriksson et al., 2019) as configured in the paper: a
@@ -79,13 +80,28 @@ func (s *TuRBO) params(d, q int) (lInit, lMin, lMax float64, succTol, failTol in
 	return lInit, lMin, lMax, succTol, failTol
 }
 
+// lengthscaler is the optional surrogate capability TuRBO uses to shape
+// the trust region. The GP's ARD lengthscales satisfy it; surrogates
+// without per-dimension lengthscales yield an isotropic region.
+type lengthscaler interface {
+	Lengthscales() []float64
+}
+
 // trustRegion computes the raw-space box of the current trust region,
 // centered at the incumbent and shaped by the model's ARD lengthscales
 // normalized to preserve total volume length^d.
-func (s *TuRBO) trustRegion(model *gp.GP, st *core.State) (lo, hi []float64) {
+func (s *TuRBO) trustRegion(model surrogate.Surrogate, st *core.State) (lo, hi []float64) {
 	p := st.Problem
 	d := p.Dim()
-	ls := model.Lengthscales()
+	var ls []float64
+	if lsr, ok := model.(lengthscaler); ok {
+		ls = lsr.Lengthscales()
+	} else {
+		ls = make([]float64, d)
+		for j := range ls {
+			ls[j] = 1
+		}
+	}
 	// Normalize lengthscales to geometric mean 1.
 	logSum := 0.0
 	for _, l := range ls {
@@ -117,7 +133,7 @@ func (s *TuRBO) trustRegion(model *gp.GP, st *core.State) (lo, hi []float64) {
 }
 
 // Propose implements core.Strategy.
-func (s *TuRBO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+func (s *TuRBO) Propose(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
 	p := st.Problem
 	lInit, _, _, _, _ := s.params(p.Dim(), q)
 	if !s.haveState {
@@ -126,14 +142,14 @@ func (s *TuRBO) Propose(model *gp.GP, st *core.State, q int, stream *rng.Stream)
 	}
 	lo, hi := s.trustRegion(model, st)
 	if s.MultiInfill {
-		return s.proposeMultiInfill(model, st, q, lo, hi, stream)
+		return s.proposeMultiInfill(ctx, model, st, q, lo, hi, stream)
 	}
-	return proposeJointQEI(model, st, q, lo, hi, s.Samples, s.Starts, s.EvalBudget, stream)
+	return proposeJointQEI(ctx, model, st, q, lo, hi, s.Samples, s.Starts, s.EvalBudget, stream)
 }
 
 // proposeMultiInfill runs the EI+UCB sequential fill restricted to the
 // trust region (extension experiment).
-func (s *TuRBO) proposeMultiInfill(model *gp.GP, st *core.State, q int, lo, hi []float64, stream *rng.Stream) ([][]float64, error) {
+func (s *TuRBO) proposeMultiInfill(ctx context.Context, model surrogate.Surrogate, st *core.State, q int, lo, hi []float64, stream *rng.Stream) ([][]float64, error) {
 	p := st.Problem
 	opt := DefaultAFOpt()
 	batch := make([][]float64, 0, q)
@@ -146,7 +162,7 @@ func (s *TuRBO) proposeMultiInfill(model *gp.GP, st *core.State, q int, lo, hi [
 		} else {
 			af = &acq.UCB{Beta: 2, Minimize: p.Minimize}
 		}
-		x, _ := opt.Maximize(cur, af, lo, hi, incumbent(st), stream.Split(uint64(i)))
+		x, _ := opt.Maximize(ctx, cur, af, lo, hi, incumbent(st), stream.Split(uint64(i)))
 		batch = append(batch, x)
 		if i == q-1 {
 			break
@@ -204,13 +220,6 @@ func (s *TuRBO) Observe(st *core.State, xs [][]float64, ys []float64) {
 		s.length = lInit
 		s.succ, s.fail = 0, 0
 	}
-}
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // APParallelism implements core.Strategy: like MC-based q-EGO, the inner

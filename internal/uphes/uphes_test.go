@@ -1,6 +1,7 @@
 package uphes
 
 import (
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -253,9 +254,11 @@ func TestConcurrentEvaluationsRaceFree(t *testing.T) {
 		want[i] = s.Profit(xs[i])
 	}
 	got := make([]float64, len(xs))
-	parallel.ForEach(0, len(xs), func(i int) {
+	if err := parallel.ForEach(context.Background(), 0, len(xs), func(i int) {
 		got[i] = s.Profit(xs[i])
-	})
+	}); err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
 	for i := range xs {
 		if got[i] != want[i] {
 			t.Fatalf("concurrent evaluation %d produced %v, want %v", i, got[i], want[i])

@@ -23,6 +23,8 @@
 package pbo
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -44,6 +46,15 @@ type Result = core.Result
 
 // CycleRecord is one BO cycle in a Result's history.
 type CycleRecord = core.CycleRecord
+
+// ErrInterrupted is returned (wrapped) by OptimizeContext when the context
+// is cancelled mid-run; the partial Result returned alongside it is valid.
+var ErrInterrupted = core.ErrInterrupted
+
+// Interrupted reports whether err stems from a cancelled optimization run
+// (as opposed to a genuine failure). Convenience for
+// errors.Is(err, ErrInterrupted).
+func Interrupted(err error) bool { return errors.Is(err, ErrInterrupted) }
 
 // UPHESConfig parameterizes the synthetic UPHES plant simulator.
 type UPHESConfig = uphes.Config
@@ -84,8 +95,21 @@ type Options struct {
 	Seed uint64
 }
 
-// Optimize runs batch-parallel Bayesian optimization on the problem.
+// Optimize runs batch-parallel Bayesian optimization on the problem. It is
+// OptimizeContext with context.Background() — use OptimizeContext to make
+// runs cancellable or deadline-bound.
 func Optimize(p *Problem, opts Options) (*Result, error) {
+	return OptimizeContext(context.Background(), p, opts)
+}
+
+// OptimizeContext runs batch-parallel Bayesian optimization on the
+// problem under a context. Cancelling ctx (or hitting its deadline) stops
+// the run within the current cycle: in-flight simulator evaluations are
+// drained, never abandoned, and OptimizeContext returns the partial Result
+// accumulated so far together with an error for which Interrupted reports
+// true. Note the budget in Options is virtual time on the experiment
+// clock; a ctx deadline bounds real wall time — the two are independent.
+func OptimizeContext(ctx context.Context, p *Problem, opts Options) (*Result, error) {
 	name := opts.Strategy
 	if name == "" {
 		name = "mic-q-EGO"
@@ -104,7 +128,7 @@ func Optimize(p *Problem, opts Options) (*Result, error) {
 		OverheadFactor: opts.OverheadFactor,
 		Seed:           opts.Seed,
 	}
-	return e.Run()
+	return e.Run(ctx)
 }
 
 // UPHESProblem builds the UPHES expected-profit maximization problem from

@@ -2,6 +2,7 @@ package pbo
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 	"time"
@@ -77,6 +78,30 @@ func TestOptimizeEndToEnd(t *testing.T) {
 	}
 	if res.Strategy != "KB-q-EGO" || res.Batch != 2 {
 		t.Fatalf("result metadata wrong: %+v", res)
+	}
+}
+
+func TestOptimizeContextCancelled(t *testing.T) {
+	p, err := CustomProblem("sphere",
+		func(x []float64) float64 { return x[0]*x[0] + x[1]*x[1] },
+		[]float64{-3, -3}, []float64{3, 3}, true, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := OptimizeContext(ctx, p, Options{
+		Strategy: "KB-q-EGO", BatchSize: 2, InitSamples: 4,
+		Budget: time.Minute, OverheadFactor: 1, Seed: 7,
+	})
+	if err == nil {
+		t.Fatal("expected an interruption error")
+	}
+	if !Interrupted(err) {
+		t.Fatalf("Interrupted() false for %v", err)
+	}
+	if res == nil || res.Cycles != 0 {
+		t.Fatalf("partial result = %+v", res)
 	}
 }
 

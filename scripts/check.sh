@@ -2,8 +2,9 @@
 # check.sh — the single local/CI verification gate (tier-1+).
 #
 # Runs, in order: formatting, vet, build, the project's own invariant
-# linter (cmd/pbolint), and the full test suite under the race detector.
-# Any failure stops the gate with a nonzero exit.
+# linter (cmd/pbolint), the full test suite under the race detector, and
+# a single-iteration pass over every benchmark so bench code cannot rot
+# uncompiled. Any failure stops the gate with a nonzero exit.
 #
 # Usage: ./scripts/check.sh
 set -eu
@@ -29,5 +30,8 @@ go run ./cmd/pbolint ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== benchmarks compile and run once"
+go test -run '^$' -bench . -benchtime 1x ./...
 
 echo "check.sh: all gates passed"
