@@ -52,7 +52,8 @@ func (e *EI) Eval(g surrogate.Surrogate, x []float64) float64 {
 
 // EvalWithGrad implements Acquisition.
 func (e *EI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
-	mu, sd, dMu, dSD := g.PredictWithGrad(x)
+	s := grabGradScratch(len(x))
+	mu, sd := g.PredictWithGrad(x, s.dMu, s.dSD)
 	v, partial := eiValue(mu, sd, e.Best, e.Minimize, e.Xi)
 	// partial = (∂EI/∂μ', ∂EI/∂σ) where μ' is the signed improvement mean.
 	sign := 1.0
@@ -60,8 +61,9 @@ func (e *EI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
 		sign = -1
 	}
 	for j := range grad {
-		grad[j] = sign*partial[0]*dMu[j] + partial[1]*dSD[j]
+		grad[j] = sign*partial[0]*s.dMu[j] + partial[1]*s.dSD[j]
 	}
+	gradScratchPool.Put(s)
 	return v
 }
 
@@ -120,15 +122,17 @@ func (u *UCB) Eval(g surrogate.Surrogate, x []float64) float64 {
 
 // EvalWithGrad implements Acquisition.
 func (u *UCB) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
-	mu, sd, dMu, dSD := g.PredictWithGrad(x)
+	s := grabGradScratch(len(x))
+	mu, sd := g.PredictWithGrad(x, s.dMu, s.dSD)
 	sign := 1.0
 	if u.Minimize {
 		sign = -1
 	}
 	b := u.beta()
 	for j := range grad {
-		grad[j] = sign*dMu[j] + b*dSD[j]
+		grad[j] = sign*s.dMu[j] + b*s.dSD[j]
 	}
+	gradScratchPool.Put(s)
 	if u.Minimize {
 		return -mu + b*sd
 	}
@@ -156,7 +160,9 @@ func (p *PI) Eval(g surrogate.Surrogate, x []float64) float64 {
 
 // EvalWithGrad implements Acquisition.
 func (p *PI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
-	mu, sd, dMu, dSD := g.PredictWithGrad(x)
+	s := grabGradScratch(len(x))
+	defer gradScratchPool.Put(s)
+	mu, sd := g.PredictWithGrad(x, s.dMu, s.dSD)
 	var m float64
 	if p.Minimize {
 		m = p.Best - mu - p.Xi
@@ -180,7 +186,7 @@ func (p *PI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
 	}
 	// ∂Φ(z)/∂x = φ(z)·(sign·dμ·σ − m·dσ)/σ².
 	for j := range grad {
-		grad[j] = pdf * (sign*dMu[j]*sd - m*dSD[j]) / (sd * sd)
+		grad[j] = pdf * (sign*s.dMu[j]*sd - m*s.dSD[j]) / (sd * sd)
 	}
 	return rng.NormCDF(z)
 }
@@ -252,8 +258,10 @@ func (e *QEI) EvalBatch(g surrogate.Surrogate, xs [][]float64) float64 {
 		// well-defined qEI; fall back to the diagonal approximation.
 		return e.diagonalFallback(g, xs)
 	}
+	s := grabBatchScratch(e.q, 0)
+	defer batchScratchPool.Put(s)
 	var acc float64
-	y := make([]float64, e.q)
+	y := s.y
 	for _, z := range e.base {
 		for i := 0; i < e.q; i++ {
 			v := jp.Mean[i]
@@ -309,11 +317,13 @@ func (e *QEI) FlatObjective(g surrogate.Surrogate, d int) func(flat []float64) f
 		if len(flat) != e.q*d {
 			panic(fmt.Sprintf("acq: flat length %d != q·d = %d", len(flat), e.q*d))
 		}
-		xs := make([][]float64, e.q)
-		for i := range xs {
-			xs[i] = flat[i*d : (i+1)*d]
+		s := grabBatchScratch(0, e.q)
+		for i := range s.xs {
+			s.xs[i] = flat[i*d : (i+1)*d]
 		}
-		return e.EvalBatch(g, xs)
+		v := e.EvalBatch(g, s.xs)
+		batchScratchPool.Put(s)
+		return v
 	}
 }
 

@@ -58,7 +58,10 @@ func scaledEIValue(mu, sd, best float64, minimize bool) float64 {
 func (e *ScaledEI) EvalWithGrad(g surrogate.Surrogate, x, grad []float64) float64 {
 	v := e.Eval(g, x)
 	const h = 1e-6
-	xh := append([]float64(nil), x...)
+	s := grabGradScratch(len(x))
+	defer gradScratchPool.Put(s)
+	xh := s.dMu
+	copy(xh, x)
 	for j := range x {
 		xh[j] = x[j] + h
 		up := e.Eval(g, xh)
@@ -170,10 +173,12 @@ func (u *QUCB) FlatObjective(g surrogate.Surrogate, d int) func(flat []float64) 
 		if len(flat) != u.q*d {
 			panic(fmt.Sprintf("acq: flat length %d != q·d = %d", len(flat), u.q*d))
 		}
-		xs := make([][]float64, u.q)
-		for i := range xs {
-			xs[i] = flat[i*d : (i+1)*d]
+		s := grabBatchScratch(0, u.q)
+		for i := range s.xs {
+			s.xs[i] = flat[i*d : (i+1)*d]
 		}
-		return u.EvalBatch(g, xs)
+		v := u.EvalBatch(g, s.xs)
+		batchScratchPool.Put(s)
+		return v
 	}
 }

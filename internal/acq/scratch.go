@@ -1,0 +1,55 @@
+package acq
+
+import "sync"
+
+// gradScratch holds the posterior-gradient buffers an acquisition
+// EvalWithGrad threads into surrogate.PredictWithGrad. Acquisition values
+// sit in the innermost loop of multi-start L-BFGS, and the same
+// Acquisition object is shared by every parallel restart, so the scratch
+// is pooled rather than stored on the criterion: steady state, a full
+// inner acquisition maximization performs zero heap allocations.
+type gradScratch struct {
+	dMu, dSD []float64
+}
+
+var gradScratchPool = sync.Pool{New: func() any { return new(gradScratch) }}
+
+// grabGradScratch returns a scratch with buffers of length d. The caller
+// must release it with gradScratchPool.Put once the gradients have been
+// folded into the caller-owned output.
+func grabGradScratch(d int) *gradScratch {
+	s := gradScratchPool.Get().(*gradScratch)
+	if cap(s.dMu) < d {
+		s.dMu = make([]float64, d)
+		s.dSD = make([]float64, d)
+	}
+	s.dMu = s.dMu[:d]
+	s.dSD = s.dSD[:d]
+	return s
+}
+
+// batchScratch holds the per-call buffers of the Monte-Carlo batch
+// criteria: the sampled outcome vector and the reused point-header slice
+// of FlatObjective. Pooled for the same reason as gradScratch — flat
+// batch objectives are evaluated concurrently by parallel restarts.
+type batchScratch struct {
+	y  []float64
+	xs [][]float64
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// grabBatchScratch returns a scratch with y sized to q and xs sized to
+// qxs point headers (pass 0 when the views are not needed).
+func grabBatchScratch(q, qxs int) *batchScratch {
+	s := batchScratchPool.Get().(*batchScratch)
+	if cap(s.y) < q {
+		s.y = make([]float64, q)
+	}
+	s.y = s.y[:q]
+	if cap(s.xs) < qxs {
+		s.xs = make([][]float64, qxs)
+	}
+	s.xs = s.xs[:qxs]
+	return s
+}

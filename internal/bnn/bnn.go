@@ -413,10 +413,14 @@ func (e *Ensemble) normalizeInput(x []float64) []float64 {
 }
 
 // PredictWithGrad returns the ensemble mean and disagreement sd at a
-// raw-space point together with their analytic input gradients (tanh
-// networks are smooth, so backpropagation to the input is exact).
-func (e *Ensemble) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float64) {
+// raw-space point, writing their analytic input gradients into the
+// caller-provided dMean and dSD (tanh networks are smooth, so
+// backpropagation to the input is exact).
+func (e *Ensemble) PredictWithGrad(x []float64, dMean, dSD []float64) (mean, sd float64) {
 	d := len(e.cfg.Lo)
+	if len(dMean) != d || len(dSD) != d {
+		panic(fmt.Sprintf("bnn: gradient buffer lengths %d,%d != %d", len(dMean), len(dSD), d))
+	}
 	u := e.normalizeInput(x)
 	k := float64(len(e.nets))
 	var sum, sumsq float64
@@ -437,15 +441,13 @@ func (e *Ensemble) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []
 		variance = 1e-300
 	}
 	sdStd := math.Sqrt(variance)
-	dMean = make([]float64, d)
-	dSD = make([]float64, d)
 	for j := 0; j < d; j++ {
 		du := 2 / (e.cfg.Hi[j] - e.cfg.Lo[j]) // chain rule u→x
 		dVarU := dSqU[j] - 2*mu*dMuU[j]
 		dMean[j] = e.ystd * dMuU[j] * du
 		dSD[j] = e.ystd * dVarU / (2 * sdStd) * du
 	}
-	return e.ymean + e.ystd*mu, e.ystd * sdStd, dMean, dSD
+	return e.ymean + e.ystd*mu, e.ystd * sdStd
 }
 
 // PredictJoint returns the joint posterior over a batch of points, with
@@ -456,7 +458,7 @@ func (e *Ensemble) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []
 func (e *Ensemble) PredictJoint(xs [][]float64) (*surrogate.JointPrediction, error) {
 	q := len(xs)
 	if q == 0 {
-		panic("bnn: PredictJoint with no points")
+		return nil, fmt.Errorf("bnn: PredictJoint: %w", surrogate.ErrEmptyBatch)
 	}
 	nm := len(e.nets)
 	preds := mat.NewDense(nm, q, nil)

@@ -1,10 +1,12 @@
 package bnn
 
 import (
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/rng"
+	"repro/internal/surrogate"
 )
 
 func cfg2d() Config {
@@ -167,5 +169,19 @@ func TestTrainingReducesLoss(t *testing.T) {
 	}
 	if last >= first {
 		t.Fatalf("loss did not decrease: %v -> %v", first, last)
+	}
+}
+
+func TestPredictJointEmptyBatch(t *testing.T) {
+	stream := rng.New(5, 5)
+	X, y := quadData(30, stream)
+	c := cfg2d()
+	c.Epochs = 5
+	e, err := Fit(X, y, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.PredictJoint(nil); !errors.Is(err, surrogate.ErrEmptyBatch) {
+		t.Fatalf("bnn.PredictJoint(nil) err = %v, want ErrEmptyBatch", err)
 	}
 }

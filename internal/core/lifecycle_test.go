@@ -276,8 +276,12 @@ func (f *countingFactory) Fit(context.Context, *State, int) (surrogate.Surrogate
 type stubSurrogate struct{}
 
 func (stubSurrogate) Predict([]float64) (float64, float64) { return 0, 1 }
-func (stubSurrogate) PredictWithGrad(x []float64) (float64, float64, []float64, []float64) {
-	return 0, 1, make([]float64, len(x)), make([]float64, len(x))
+func (stubSurrogate) PredictWithGrad(x, dMean, dSD []float64) (float64, float64) {
+	for j := range dMean {
+		dMean[j] = 0
+		dSD[j] = 0
+	}
+	return 0, 1
 }
 func (stubSurrogate) PredictJoint([][]float64) (*surrogate.JointPrediction, error) {
 	return nil, surrogate.ErrUnsupported

@@ -1,0 +1,101 @@
+package gp
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/surrogate"
+	"repro/internal/testutil"
+)
+
+// TestPredictAllocs pins the posterior hot path at zero steady-state
+// allocations: after the first call warms the per-model workspace pool,
+// Predict and PredictWithGrad must not touch the heap. This is the
+// acceptance gate for the destination-passing refactor (DESIGN.md §9) —
+// these two calls dominate the inner acquisition-maximization loop.
+func TestPredictAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	X, y, cfg := benchData(64)
+	g, err := Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := X[7]
+	dMu := make([]float64, len(x))
+	dSD := make([]float64, len(x))
+	// Warm the workspace pool before counting.
+	g.Predict(x)
+	g.PredictWithGrad(x, dMu, dSD)
+
+	if got := testing.AllocsPerRun(200, func() {
+		g.Predict(x)
+	}); got > 0 {
+		t.Fatalf("gp.Predict allocates %v times per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		g.PredictWithGrad(x, dMu, dSD)
+	}); got > 0 {
+		t.Fatalf("gp.PredictWithGrad allocates %v times per call, want 0", got)
+	}
+}
+
+// TestRFFPredictAllocs holds the RFF feature-space posterior to the same
+// zero-allocation contract as the exact GP.
+func TestRFFPredictAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	X, y, cfg := benchData(64)
+	g, err := Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := FitRFF(X, y, RFFConfig{Config: cfg, Features: 64}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := X[7]
+	dMu := make([]float64, len(x))
+	dSD := make([]float64, len(x))
+	r.Predict(x)
+	r.PredictWithGrad(x, dMu, dSD)
+
+	if got := testing.AllocsPerRun(200, func() {
+		r.Predict(x)
+	}); got > 0 {
+		t.Fatalf("rff.Predict allocates %v times per call, want 0", got)
+	}
+	if got := testing.AllocsPerRun(200, func() {
+		r.PredictWithGrad(x, dMu, dSD)
+	}); got > 0 {
+		t.Fatalf("rff.PredictWithGrad allocates %v times per call, want 0", got)
+	}
+}
+
+// TestPredictJointEmptyBatch checks the surrogate contract: an empty
+// batch is a caller error reported as a wrapped surrogate.ErrEmptyBatch,
+// not a panic (the pre-refactor behavior was an index panic inside the
+// joint covariance assembly).
+func TestPredictJointEmptyBatch(t *testing.T) {
+	X, y, cfg := benchData(32)
+	g, err := Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.PredictJoint(nil); !errors.Is(err, surrogate.ErrEmptyBatch) {
+		t.Fatalf("gp.PredictJoint(nil) err = %v, want ErrEmptyBatch", err)
+	}
+	if _, err := g.PredictJoint([][]float64{}); !errors.Is(err, surrogate.ErrEmptyBatch) {
+		t.Fatalf("gp.PredictJoint(empty) err = %v, want ErrEmptyBatch", err)
+	}
+
+	r, err := FitRFF(X, y, RFFConfig{Config: cfg, Features: 32}, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.PredictJoint(nil); !errors.Is(err, surrogate.ErrEmptyBatch) {
+		t.Fatalf("rff.PredictJoint(nil) err = %v, want ErrEmptyBatch", err)
+	}
+}

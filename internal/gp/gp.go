@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/mat"
@@ -108,6 +109,40 @@ type GP struct {
 
 	warmParams []float64 // packed [kernel params..., logNoise] for refits
 	fitLML     float64   // LML achieved at fit time
+
+	ws *sync.Pool // *predictWorkspace scratch sized for this model's (n, d)
+}
+
+// predictWorkspace is the per-call scratch of the prediction hot path. It
+// is recycled through the model's sync.Pool, so steady-state Predict and
+// PredictWithGrad perform zero heap allocations. Workspaces are sized for
+// one fitted model and never shared across models; nothing in a workspace
+// escapes a Predict* call.
+type predictWorkspace struct {
+	u      []float64 // d: normalized query point
+	ks     []float64 // n: cross-covariance k★
+	v      []float64 // n: L⁻¹k★
+	w      []float64 // n: K⁻¹k★
+	kg     []float64 // n·d: batched ∂k(u, x_i)/∂u rows
+	dMeanU []float64 // d: mean gradient accumulator (normalized space)
+	dVarU  []float64 // d: variance gradient accumulator
+}
+
+// initWorkspacePool equips a conditioned model with its scratch pool. Must
+// be called exactly once, after g.x is final.
+func (g *GP) initWorkspacePool() {
+	n, d := g.x.Rows(), g.d
+	g.ws = &sync.Pool{New: func() any {
+		return &predictWorkspace{
+			u:      make([]float64, d),
+			ks:     make([]float64, n),
+			v:      make([]float64, n),
+			w:      make([]float64, n),
+			kg:     make([]float64, n*d),
+			dMeanU: make([]float64, d),
+			dVarU:  make([]float64, d),
+		}
+	}}
 }
 
 // ErrEmptyData is returned when fitting with no observations.
@@ -415,6 +450,7 @@ func (g *GP) factorize() error {
 	}
 	g.chol = ch
 	g.alpha = ch.SolveVec(g.ys)
+	g.initWorkspacePool()
 	return nil
 }
 
@@ -438,75 +474,79 @@ func (g *GP) Lengthscales() []float64 { return kernel.Lengthscales(g.kern) }
 // followed by log-noise when fitted).
 func (g *GP) Hyperparameters() []float64 { return mat.CloneVec(g.warmParams) }
 
-// normalize maps a raw-space point to the unit cube.
-func (g *GP) normalize(x []float64) []float64 {
+// normalizeInto maps a raw-space point to the unit cube, writing into the
+// caller's buffer (length d).
+func (g *GP) normalizeInto(dst, x []float64) {
 	if len(x) != g.d {
 		panic(fmt.Sprintf("gp: point dim %d != %d", len(x), g.d))
 	}
-	u := make([]float64, g.d)
 	for j := range x {
-		u[j] = (x[j] - g.cfg.Lo[j]) / (g.cfg.Hi[j] - g.cfg.Lo[j])
+		dst[j] = (x[j] - g.cfg.Lo[j]) / (g.cfg.Hi[j] - g.cfg.Lo[j])
 	}
-	return u
 }
 
 // Predict returns the posterior mean and standard deviation of the latent
-// function at a raw-space point x.
+// function at a raw-space point x. Steady state it performs no heap
+// allocations: all scratch comes from the model's workspace pool.
 func (g *GP) Predict(x []float64) (mean, sd float64) {
-	u := g.normalize(x)
-	n := g.N()
-	ks := make([]float64, n)
-	for i := 0; i < n; i++ {
-		ks[i] = g.kern.Eval(u, g.x.Row(i))
-	}
-	mu := mat.Dot(ks, g.alpha)
-	v := g.chol.ForwardSolveVec(ks)
-	variance := g.kern.Eval(u, u) - mat.Dot(v, v)
+	ws := g.ws.Get().(*predictWorkspace)
+	g.normalizeInto(ws.u, x)
+	g.kern.EvalRow(ws.ks, ws.u, g.x.Data())
+	mu := mat.Dot(ws.ks, g.alpha)
+	g.chol.ForwardSolveVecInto(ws.v, ws.ks)
+	variance := g.kern.Eval(ws.u, ws.u) - mat.Dot(ws.v, ws.v)
 	if variance < 0 {
 		variance = 0
 	}
-	return g.ymean + g.ystd*mu, g.ystd * math.Sqrt(variance)
+	mean, sd = g.ymean+g.ystd*mu, g.ystd*math.Sqrt(variance)
+	g.ws.Put(ws)
+	return mean, sd
 }
 
-// PredictWithGrad returns the posterior mean and sd at x plus their
-// gradients with respect to x (raw space). Used by gradient-based EI/UCB
-// optimization.
-func (g *GP) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float64) {
-	u := g.normalize(x)
-	n := g.N()
-	ks := make([]float64, n)
-	// dks[i][j] = ∂k(u, x_i)/∂u_j, accumulated into gradient sums directly.
-	dMeanU := make([]float64, g.d)
-	dVarU := make([]float64, g.d)
-	kg := make([]float64, g.d)
-	for i := 0; i < n; i++ {
-		ks[i] = g.kern.Eval(u, g.x.Row(i))
+// PredictWithGrad returns the posterior mean and sd at x and writes their
+// gradients with respect to x (raw space) into the caller-provided dMean
+// and dSD (length Dim). Used by gradient-based EI/UCB optimization; the
+// destination-passing contract keeps it allocation-free in steady state.
+func (g *GP) PredictWithGrad(x []float64, dMean, dSD []float64) (mean, sd float64) {
+	if len(dMean) != g.d || len(dSD) != g.d {
+		panic(fmt.Sprintf("gp: gradient buffer lengths %d,%d != %d", len(dMean), len(dSD), g.d))
 	}
-	v := g.chol.ForwardSolveVec(ks) // L⁻¹ k*
-	w := g.chol.BackSolveVec(v)     // K⁻¹ k*
-	mu := mat.Dot(ks, g.alpha)      // standardized mean
-	variance := g.kern.Eval(u, u) - mat.Dot(v, v)
+	n := g.N()
+	ws := g.ws.Get().(*predictWorkspace)
+	u := ws.u
+	g.normalizeInto(u, x)
+	// One pass over the training block fills k★ and every ∂k(u, x_i)/∂u row.
+	g.kern.EvalRowWithGrad(ws.ks, ws.kg, u, g.x.Data())
+	g.chol.ForwardSolveVecInto(ws.v, ws.ks) // L⁻¹ k*
+	g.chol.BackSolveVecInto(ws.w, ws.v)     // K⁻¹ k*
+	mu := mat.Dot(ws.ks, g.alpha)           // standardized mean
+	variance := g.kern.Eval(u, u) - mat.Dot(ws.v, ws.v)
 	if variance < 1e-300 {
 		variance = 1e-300
 	}
+	dMeanU, dVarU := ws.dMeanU, ws.dVarU
+	for j := range dMeanU {
+		dMeanU[j] = 0
+		dVarU[j] = 0
+	}
 	for i := 0; i < n; i++ {
-		g.kern.GradX(u, g.x.Row(i), kg)
+		kg := ws.kg[i*g.d : (i+1)*g.d]
 		ai := g.alpha[i]
-		wi := w[i]
+		wi := ws.w[i]
 		for j := 0; j < g.d; j++ {
 			dMeanU[j] += ai * kg[j]
 			dVarU[j] += -2 * wi * kg[j] // ∂(k**−k*ᵀK⁻¹k*)/∂u; k** constant for stationary kernels
 		}
 	}
 	sdStd := math.Sqrt(variance)
-	dMean = make([]float64, g.d)
-	dSD = make([]float64, g.d)
 	for j := 0; j < g.d; j++ {
 		du := 1 / (g.cfg.Hi[j] - g.cfg.Lo[j]) // chain rule u→x
 		dMean[j] = g.ystd * dMeanU[j] * du
 		dSD[j] = g.ystd * dVarU[j] / (2 * sdStd) * du
 	}
-	return g.ymean + g.ystd*mu, g.ystd * sdStd, dMean, dSD
+	mean, sd = g.ymean+g.ystd*mu, g.ystd*sdStd
+	g.ws.Put(ws)
+	return mean, sd
 }
 
 // JointPrediction is the posterior over a batch of q points: mean vector
@@ -515,31 +555,32 @@ func (g *GP) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float6
 type JointPrediction = surrogate.JointPrediction
 
 // PredictJoint returns the joint posterior of the latent function at the
-// given raw-space points.
+// given raw-space points. An empty batch is an error wrapping
+// surrogate.ErrEmptyBatch.
 func (g *GP) PredictJoint(xs [][]float64) (*JointPrediction, error) {
 	q := len(xs)
 	if q == 0 {
-		panic("gp: PredictJoint with no points")
+		return nil, fmt.Errorf("gp: PredictJoint: %w", surrogate.ErrEmptyBatch)
 	}
 	n := g.N()
-	us := make([][]float64, q)
+	ustore := mat.NewDense(q, g.d, nil) // row i holds the normalized x_i
 	for i, x := range xs {
-		us[i] = g.normalize(x)
+		g.normalizeInto(ustore.Row(i), x)
 	}
 	mean := make([]float64, q)
 	vstore := mat.NewDense(q, n, nil) // row i holds L⁻¹ k*(x_i)
-	ks := make([]float64, n)
+	ws := g.ws.Get().(*predictWorkspace)
+	ks := ws.ks
 	for i := 0; i < q; i++ {
-		for t := 0; t < n; t++ {
-			ks[t] = g.kern.Eval(us[i], g.x.Row(t))
-		}
+		g.kern.EvalRow(ks, ustore.Row(i), g.x.Data())
 		mean[i] = g.ymean + g.ystd*mat.Dot(ks, g.alpha)
-		copy(vstore.Row(i), g.chol.ForwardSolveVec(ks))
+		g.chol.ForwardSolveVecInto(vstore.Row(i), ks)
 	}
+	g.ws.Put(ws)
 	cov := mat.NewDense(q, q, nil)
 	for i := 0; i < q; i++ {
 		for j := 0; j <= i; j++ {
-			c := g.kern.Eval(us[i], us[j]) - mat.Dot(vstore.Row(i), vstore.Row(j))
+			c := g.kern.Eval(ustore.Row(i), ustore.Row(j)) - mat.Dot(vstore.Row(i), vstore.Row(j))
 			c *= g.ystd * g.ystd
 			cov.Set(i, j, c)
 			cov.Set(j, i, c)
@@ -558,16 +599,19 @@ func (g *GP) PredictJoint(xs [][]float64) (*JointPrediction, error) {
 // Cholesky extension. The result is returned as a surrogate.Surrogate
 // (always a *GP underneath) so GP satisfies the surrogate interface.
 func (g *GP) Fantasize(x []float64, y float64) (surrogate.Surrogate, error) {
-	u := g.normalize(x)
 	n := g.N()
+	ws := g.ws.Get().(*predictWorkspace)
+	u := ws.u
+	g.normalizeInto(u, x)
+	// The n×1 cross block's backing slice is its single column, so the
+	// batched kernel row fills it directly (k is symmetric, bitwise).
 	b := mat.NewDense(n, 1, nil)
-	for i := 0; i < n; i++ {
-		b.Set(i, 0, g.kern.Eval(g.x.Row(i), u))
-	}
+	g.kern.EvalRow(b.Data(), u, g.x.Data())
 	cc := mat.NewDense(1, 1, nil)
 	cc.Set(0, 0, g.kern.Eval(u, u)+g.noise)
 	ext, err := g.chol.Extend(b, cc)
 	if err != nil {
+		g.ws.Put(ws)
 		return nil, fmt.Errorf("gp: fantasy extension failed: %w", err)
 	}
 	ng := &GP{
@@ -577,13 +621,13 @@ func (g *GP) Fantasize(x []float64, y float64) (surrogate.Surrogate, error) {
 		warmParams: g.warmParams, fitLML: g.fitLML,
 	}
 	ng.x = mat.NewDense(n+1, g.d, nil)
-	for i := 0; i < n; i++ {
-		copy(ng.x.Row(i), g.x.Row(i))
-	}
+	copy(ng.x.Data(), g.x.Data())
 	copy(ng.x.Row(n), u)
+	g.ws.Put(ws)
 	ng.yraw = append(mat.CloneVec(g.yraw), y)
 	ng.ys = append(mat.CloneVec(g.ys), (y-g.ymean)/g.ystd)
 	ng.alpha = ext.SolveVec(ng.ys)
+	ng.initWorkspacePool()
 	return ng, nil
 }
 

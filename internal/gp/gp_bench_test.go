@@ -90,10 +90,12 @@ func BenchmarkPredictWithGrad256(b *testing.B) {
 		b.Fatal(err)
 	}
 	x := X[17]
+	dMu := make([]float64, 12)
+	dSD := make([]float64, 12)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g.PredictWithGrad(x)
+		g.PredictWithGrad(x, dMu, dSD)
 	}
 }
 

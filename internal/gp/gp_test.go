@@ -190,9 +190,11 @@ func TestPredictWithGradFiniteDiff(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	dMu := make([]float64, len(lo))
+	dSD := make([]float64, len(lo))
 	for trial := 0; trial < 5; trial++ {
 		x := stream.UniformVec(lo, hi)
-		mu, sd, dMu, dSD := g.PredictWithGrad(x)
+		mu, sd := g.PredictWithGrad(x, dMu, dSD)
 		muP, sdP := g.Predict(x)
 		if math.Abs(mu-muP) > 1e-10 || math.Abs(sd-sdP) > 1e-10 {
 			t.Fatalf("PredictWithGrad value mismatch: %v/%v vs %v/%v", mu, sd, muP, sdP)

@@ -3,6 +3,7 @@ package gp
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mat"
 	"repro/internal/rng"
@@ -39,6 +40,36 @@ type RFF struct {
 
 	xs [][]float64 // raw training inputs (cloned)
 	ys []float64   // raw training outputs
+
+	ws *sync.Pool // *rffWorkspace scratch sized for this model's (M, d)
+}
+
+// rffWorkspace is the per-call prediction scratch of an RFF model,
+// recycled through the model's sync.Pool exactly like the exact GP's
+// predictWorkspace.
+type rffWorkspace struct {
+	u      []float64 // d: normalized query point
+	phi    []float64 // M: feature vector φ(u)
+	v      []float64 // M: L⁻¹φ or A⁻¹φ
+	dphi   []float64 // M: −amp·sin(arg) per feature
+	dMeanU []float64 // d
+	dVarU  []float64 // d
+}
+
+// initWorkspacePool equips the model with its scratch pool. Must be
+// called once, after features and d are final.
+func (r *RFF) initWorkspacePool() {
+	m, d := r.features, r.d
+	r.ws = &sync.Pool{New: func() any {
+		return &rffWorkspace{
+			u:      make([]float64, d),
+			phi:    make([]float64, m),
+			v:      make([]float64, m),
+			dphi:   make([]float64, m),
+			dMeanU: make([]float64, d),
+			dVarU:  make([]float64, d),
+		}
+	}}
 }
 
 // RFFConfig extends Config with the feature count.
@@ -158,6 +189,7 @@ func FitRFF(xs [][]float64, ys []float64, cfg RFFConfig, prev *GP) (*RFF, error)
 		r.xs[i] = mat.CloneVec(x)
 	}
 	r.ys = mat.CloneVec(ys)
+	r.initWorkspacePool()
 	return r, nil
 }
 
@@ -172,56 +204,64 @@ func (r *RFF) featurize(u []float64, dst []float64) {
 func (r *RFF) Features() int { return r.features }
 
 // Predict returns the posterior mean and standard deviation at a raw-space
-// point.
+// point. Steady state it performs no heap allocations.
 func (r *RFF) Predict(x []float64) (mean, sd float64) {
-	u := r.normalize(x)
-	phi := make([]float64, r.features)
-	r.featurize(u, phi)
-	mu := mat.Dot(phi, r.wMean)
+	ws := r.ws.Get().(*rffWorkspace)
+	r.normalizeInto(ws.u, x)
+	r.featurize(ws.u, ws.phi)
+	mu := mat.Dot(ws.phi, r.wMean)
 	// Weight-space posterior: Cov θ = σₙ²·A⁻¹ with A = ΦᵀΦ + σₙ²·I, so
 	// Var f(x) = σₙ²·φᵀA⁻¹φ = σₙ²·‖L⁻¹φ‖².
-	v := r.chol.ForwardSolveVec(phi)
-	variance := r.noise * mat.Dot(v, v)
+	r.chol.ForwardSolveVecInto(ws.v, ws.phi)
+	variance := r.noise * mat.Dot(ws.v, ws.v)
 	if variance < 0 {
 		variance = 0
 	}
-	return r.ymean + r.ystd*mu, r.ystd * math.Sqrt(variance)
+	mean, sd = r.ymean+r.ystd*mu, r.ystd*math.Sqrt(variance)
+	r.ws.Put(ws)
+	return mean, sd
 }
 
-func (r *RFF) normalize(x []float64) []float64 {
+func (r *RFF) normalizeInto(dst, x []float64) {
 	if len(x) != r.d {
 		panic(fmt.Sprintf("gp: rff point dim %d != %d", len(x), r.d))
 	}
-	u := make([]float64, r.d)
 	for j := range x {
-		u[j] = (x[j] - r.cfg.Lo[j]) / (r.cfg.Hi[j] - r.cfg.Lo[j])
+		dst[j] = (x[j] - r.cfg.Lo[j]) / (r.cfg.Hi[j] - r.cfg.Lo[j])
 	}
-	return u
 }
 
-// PredictWithGrad returns the posterior mean and sd at x plus their
-// gradients with respect to x (raw space). Both are analytic: the feature
-// map is a cosine expansion, so ∂φ_m/∂u_j = −amp·sin(wᵀu+b)·w_mj.
-func (r *RFF) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float64) {
-	u := r.normalize(x)
+// PredictWithGrad returns the posterior mean and sd at x and writes their
+// gradients with respect to x (raw space) into the caller-provided dMean
+// and dSD. Both are analytic: the feature map is a cosine expansion, so
+// ∂φ_m/∂u_j = −amp·sin(wᵀu+b)·w_mj.
+func (r *RFF) PredictWithGrad(x []float64, dMean, dSD []float64) (mean, sd float64) {
+	if len(dMean) != r.d || len(dSD) != r.d {
+		panic(fmt.Sprintf("gp: rff gradient buffer lengths %d,%d != %d", len(dMean), len(dSD), r.d))
+	}
 	m := r.features
-	phi := make([]float64, m)
-	dphiCoef := make([]float64, m) // −amp·sin(arg), per feature
+	ws := r.ws.Get().(*rffWorkspace)
+	u := ws.u
+	r.normalizeInto(u, x)
+	phi, dphiCoef := ws.phi, ws.dphi // dphi holds −amp·sin(arg), per feature
 	for i := 0; i < m; i++ {
 		arg := mat.Dot(r.w.Row(i), u) + r.b[i]
 		phi[i] = r.amp * math.Cos(arg)
 		dphiCoef[i] = -r.amp * math.Sin(arg)
 	}
 	mu := mat.Dot(phi, r.wMean)
-	a := r.chol.SolveVec(phi) // A⁻¹φ
+	a := r.chol.SolveVecInto(ws.v, phi) // A⁻¹φ
 	variance := r.noise * mat.Dot(phi, a)
 	if variance < 1e-300 {
 		variance = 1e-300
 	}
 	sdStd := math.Sqrt(variance)
 
-	dMeanU := make([]float64, r.d)
-	dVarU := make([]float64, r.d)
+	dMeanU, dVarU := ws.dMeanU, ws.dVarU
+	for j := range dMeanU {
+		dMeanU[j] = 0
+		dVarU[j] = 0
+	}
 	for i := 0; i < m; i++ {
 		wrow := r.w.Row(i)
 		cm := r.wMean[i] * dphiCoef[i]
@@ -231,14 +271,14 @@ func (r *RFF) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float
 			dVarU[j] += cv * wrow[j]
 		}
 	}
-	dMean = make([]float64, r.d)
-	dSD = make([]float64, r.d)
 	for j := 0; j < r.d; j++ {
 		du := 1 / (r.cfg.Hi[j] - r.cfg.Lo[j])
 		dMean[j] = r.ystd * dMeanU[j] * du
 		dSD[j] = r.ystd * dVarU[j] / (2 * sdStd) * du
 	}
-	return r.ymean + r.ystd*mu, r.ystd * sdStd, dMean, dSD
+	mean, sd = r.ymean+r.ystd*mu, r.ystd*sdStd
+	r.ws.Put(ws)
+	return mean, sd
 }
 
 // PredictJoint returns the joint posterior over a batch of raw-space
@@ -247,17 +287,19 @@ func (r *RFF) PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float
 func (r *RFF) PredictJoint(xs [][]float64) (*surrogate.JointPrediction, error) {
 	q := len(xs)
 	if q == 0 {
-		panic("gp: rff PredictJoint with no points")
+		return nil, fmt.Errorf("gp: rff PredictJoint: %w", surrogate.ErrEmptyBatch)
 	}
 	m := r.features
 	mean := make([]float64, q)
 	vstore := mat.NewDense(q, m, nil) // row i holds L⁻¹φ(x_i)
-	phi := make([]float64, m)
+	ws := r.ws.Get().(*rffWorkspace)
 	for i, x := range xs {
-		r.featurize(r.normalize(x), phi)
-		mean[i] = r.ymean + r.ystd*mat.Dot(phi, r.wMean)
-		copy(vstore.Row(i), r.chol.ForwardSolveVec(phi))
+		r.normalizeInto(ws.u, x)
+		r.featurize(ws.u, ws.phi)
+		mean[i] = r.ymean + r.ystd*mat.Dot(ws.phi, r.wMean)
+		r.chol.ForwardSolveVecInto(vstore.Row(i), ws.phi)
 	}
+	r.ws.Put(ws)
 	cov := mat.NewDense(q, q, nil)
 	scale := r.ystd * r.ystd * r.noise
 	for i := 0; i < q; i++ {
@@ -280,8 +322,9 @@ func (r *RFF) PredictJoint(xs [][]float64) (*surrogate.JointPrediction, error) {
 // refactorization is O(M³); acceptable because fantasy updates are not on
 // the Thompson-sampling hot path.
 func (r *RFF) Fantasize(x []float64, y float64) (surrogate.Surrogate, error) {
-	u := r.normalize(x)
 	m := r.features
+	u := make([]float64, r.d)
+	r.normalizeInto(u, x)
 	phi := make([]float64, m)
 	r.featurize(u, phi)
 
@@ -317,6 +360,7 @@ func (r *RFF) Fantasize(x []float64, y float64) (surrogate.Surrogate, error) {
 	ng.wMean = ch.SolveVec(ng.rhs)
 	ng.xs = append(append([][]float64(nil), r.xs...), mat.CloneVec(x))
 	ng.ys = append(mat.CloneVec(r.ys), y)
+	ng.initWorkspacePool()
 	return ng, nil
 }
 
@@ -365,16 +409,26 @@ func (r *RFF) SamplePath(stream *rng.Stream) (f func(x []float64) float64, grad 
 	theta := mat.CloneVec(r.wMean)
 	mat.AxpyVec(math.Sqrt(r.noise), back, theta)
 
+	// Normalized-input scratch shared by both closures; pooled so each
+	// closure stays safe for concurrent callers (parallel multi-start
+	// optimizes one path from several goroutines at once).
+	d := r.d
+	upool := &sync.Pool{New: func() any { b := make([]float64, d); return &b }}
 	eval := func(x []float64) float64 {
-		u := r.normalize(x)
+		ub := upool.Get().(*[]float64)
+		u := *ub
+		r.normalizeInto(u, x)
 		var s float64
 		for i := 0; i < r.features; i++ {
 			s += theta[i] * r.amp * math.Cos(mat.Dot(r.w.Row(i), u)+r.b[i])
 		}
+		upool.Put(ub)
 		return r.ymean + r.ystd*s
 	}
 	gradEval := func(x, g []float64) float64 {
-		u := r.normalize(x)
+		ub := upool.Get().(*[]float64)
+		u := *ub
+		r.normalizeInto(u, x)
 		for j := range g {
 			g[j] = 0
 		}
@@ -389,6 +443,7 @@ func (r *RFF) SamplePath(stream *rng.Stream) (f func(x []float64) float64, grad 
 			}
 		}
 		mat.ScaleVec(r.ystd, g)
+		upool.Put(ub)
 		return r.ymean + r.ystd*s
 	}
 	return eval, gradEval

@@ -27,6 +27,17 @@ type Kernel interface {
 	SetParams(p []float64)
 	// Eval returns k(x, y).
 	Eval(x, y []float64) float64
+	// EvalRow writes k(x, X_i) into dst[i] for every row X_i of the
+	// row-major block xs, which holds len(dst) contiguous rows of Dim()
+	// values each. It is the batched form of Eval used to fill the k★
+	// cross-covariance vector in one pass over the training block, and
+	// produces bitwise-identical values to per-row Eval calls.
+	EvalRow(dst []float64, x []float64, xs []float64)
+	// EvalRowWithGrad is EvalRow plus input gradients: it additionally
+	// writes ∂k(x, X_i)/∂x into gradx[i*Dim() : (i+1)*Dim()] for each row,
+	// matching per-row GradX bitwise. gradx must have length
+	// len(dst)·Dim().
+	EvalRowWithGrad(dst, gradx []float64, x []float64, xs []float64)
 	// EvalWithGrad returns k(x, y) and writes ∂k/∂θ_j for each
 	// log-hyperparameter θ_j into grad, which must have length NumParams().
 	EvalWithGrad(x, y []float64, grad []float64) float64
@@ -135,6 +146,61 @@ func (k *ard) EvalWithGrad(x, y []float64, grad []float64) float64 {
 		grad[1+i] = vd * d * d * k.inv2Len[i]
 	}
 	return kv
+}
+
+// checkRowBlock validates the batched-evaluation operands.
+func (k *ard) checkRowBlock(n int, x, xs []float64) {
+	if len(x) != k.dim {
+		panic(fmt.Sprintf("kernel: point dim %d != %d", len(x), k.dim))
+	}
+	if len(xs) != n*k.dim {
+		panic(fmt.Sprintf("kernel: row block length %d != %d rows × dim %d", len(xs), n, k.dim))
+	}
+}
+
+func (k *ard) EvalRow(dst []float64, x []float64, xs []float64) {
+	k.checkRowBlock(len(dst), x, xs)
+	d := k.dim
+	x = x[:d]
+	inv := k.invLen[:d]
+	v := k.variance
+	for i := range dst {
+		row := xs[i*d : i*d+d : i*d+d]
+		var s float64
+		for j, rv := range row {
+			diff := (x[j] - rv) * inv[j]
+			s += diff * diff
+		}
+		dst[i] = v * k.p.val(s)
+	}
+}
+
+func (k *ard) EvalRowWithGrad(dst, gradx []float64, x []float64, xs []float64) {
+	k.checkRowBlock(len(dst), x, xs)
+	d := k.dim
+	if len(gradx) != len(dst)*d {
+		panic(fmt.Sprintf("kernel: gradx length %d != %d", len(gradx), len(dst)*d))
+	}
+	x = x[:d]
+	inv := k.invLen[:d]
+	inv2 := k.inv2Len[:d]
+	v := k.variance
+	for i := range dst {
+		row := xs[i*d : i*d+d : i*d+d]
+		var s float64
+		for j, rv := range row {
+			diff := (x[j] - rv) * inv[j]
+			s += diff * diff
+		}
+		phi, dphi := k.p.valDeriv(s)
+		dst[i] = v * phi
+		vd := 2 * v * dphi
+		grow := gradx[i*d : i*d+d]
+		grow = grow[:len(row)]
+		for j, rv := range row {
+			grow[j] = vd * (x[j] - rv) * inv2[j]
+		}
+	}
 }
 
 func (k *ard) GradX(x, y []float64, grad []float64) {

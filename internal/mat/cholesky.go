@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/fp"
 )
@@ -18,6 +20,17 @@ type Cholesky struct {
 	n      int
 	l      *Dense  // lower triangular, n×n
 	jitter float64 // diagonal jitter that was added to achieve factorization
+	// lt caches Lᵀ row-major so the hot solve kernels stream memory
+	// contiguously instead of striding down columns of l. It holds the
+	// same values — solves read identical floats in an identical order
+	// from either layout — and is built lazily on the SECOND solve:
+	// factors solved exactly once (hyperparameter-likelihood candidates,
+	// fantasy alpha recomputes) keep the direct path and never pay the
+	// O(n²) build, while long-lived factors serving many predictions
+	// amortize it immediately.
+	lt     []float64
+	ltOnce sync.Once
+	solved atomic.Bool
 }
 
 // NewCholesky factorizes the symmetric positive-definite matrix a. Only the
@@ -110,51 +123,236 @@ func (c *Cholesky) LogDet() float64 {
 	return 2 * s
 }
 
-// SolveVec solves A·x = b and returns x.
+// SolveVec solves A·x = b and returns x in a fresh vector.
 func (c *Cholesky) SolveVec(b []float64) []float64 {
+	return c.SolveVecInto(make([]float64, len(b)), b)
+}
+
+// SolveVecInto solves A·x = b into dst (length n) and returns dst. dst may
+// alias b; b itself is left untouched otherwise.
+func (c *Cholesky) SolveVecInto(dst, b []float64) []float64 {
 	if len(b) != c.n {
 		panic(fmt.Sprintf("mat: cholesky solve length %d != %d", len(b), c.n))
 	}
-	y := CloneVec(b)
-	c.forwardSolve(y)
-	c.backSolve(y)
-	return y
+	if len(dst) != c.n {
+		panic(fmt.Sprintf("mat: cholesky solve dst length %d != %d", len(dst), c.n))
+	}
+	if c.useFast() {
+		copy(dst, b)
+		c.forwardSolve(dst)
+		c.backSolve(dst)
+	} else {
+		copy(dst, b)
+		c.forwardSolveDirect(dst)
+		c.backSolveDirect(dst)
+	}
+	return dst
 }
 
 // ForwardSolveVec solves L·y = b in a fresh vector.
 func (c *Cholesky) ForwardSolveVec(b []float64) []float64 {
-	y := CloneVec(b)
-	c.forwardSolve(y)
-	return y
+	return c.ForwardSolveVecInto(make([]float64, len(b)), b)
+}
+
+// ForwardSolveVecInto solves L·y = b into dst (length n) and returns dst.
+// dst may alias b.
+func (c *Cholesky) ForwardSolveVecInto(dst, b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: cholesky forward solve length %d != %d", len(b), c.n))
+	}
+	if len(dst) != c.n {
+		panic(fmt.Sprintf("mat: cholesky forward solve dst length %d != %d", len(dst), c.n))
+	}
+	copy(dst, b)
+	if c.useFast() {
+		c.forwardSolve(dst)
+	} else {
+		c.forwardSolveDirect(dst)
+	}
+	return dst
 }
 
 // BackSolveVec solves Lᵀ·x = b in a fresh vector.
 func (c *Cholesky) BackSolveVec(b []float64) []float64 {
-	y := CloneVec(b)
-	c.backSolve(y)
-	return y
+	return c.BackSolveVecInto(make([]float64, len(b)), b)
 }
 
+// BackSolveVecInto solves Lᵀ·x = b into dst (length n) and returns dst.
+// dst may alias b.
+func (c *Cholesky) BackSolveVecInto(dst, b []float64) []float64 {
+	if len(b) != c.n {
+		panic(fmt.Sprintf("mat: cholesky back solve length %d != %d", len(b), c.n))
+	}
+	if len(dst) != c.n {
+		panic(fmt.Sprintf("mat: cholesky back solve dst length %d != %d", len(dst), c.n))
+	}
+	copy(dst, b)
+	if c.useFast() {
+		c.backSolve(dst)
+	} else {
+		c.backSolveDirect(dst)
+	}
+	return dst
+}
+
+// useFast reports whether this solve should run on the transposed
+// layout, building it on first use. The first solve against a factor
+// returns false (direct layout, no build); every later solve returns
+// true. Both layouts execute the identical floating-point operation
+// sequence, so the answer only affects speed, never bits — which also
+// makes the benign race between concurrent first solves harmless.
+func (c *Cholesky) useFast() bool {
+	if c.solved.Load() {
+		c.ltOnce.Do(c.buildTranspose)
+		return true
+	}
+	c.solved.Store(true)
+	return false
+}
+
+// buildTranspose fills the cached row-major copy of Lᵀ. Reached only
+// through ensureTranspose. The copy runs over square tiles so that
+// neither side of the transpose strides a full row per element.
+func (c *Cholesky) buildTranspose() {
+	n := c.n
+	if len(c.lt) != n*n {
+		c.lt = make([]float64, n*n)
+	}
+	ld := c.l.data
+	lt := c.lt
+	const tile = 32
+	for ib := 0; ib < n; ib += tile {
+		imax := min(ib+tile, n)
+		// Only tiles touching the lower triangle (jb <= ib) hold data.
+		for jb := 0; jb <= ib; jb += tile {
+			jmax := min(jb+tile, n)
+			for i := ib; i < imax; i++ {
+				row := ld[i*n+jb : i*n+min(jmax, i+1)]
+				for jo, v := range row {
+					lt[(jb+jo)*n+i] = v
+				}
+			}
+		}
+	}
+}
+
+// forwardSolve and backSolve sit at the bottom of every posterior
+// prediction, so both are written to let the compiler prove the inner
+// loops in-bounds: the row and right-hand-side slices are re-sliced to a
+// common length before the loop, which removes per-iteration bounds
+// checks without touching the floating-point evaluation order (the
+// accumulation remains strictly sequential — required for the bitwise
+// reproducibility contract, see the golden-trace tests).
+
+// forwardSolve uses the right-looking (axpy) form of forward
+// substitution: once y[k] is final it is scattered into every later
+// element. Each y[i] still accumulates −L[i][k]·y[k] in strictly
+// increasing k with the division at the same point, so the operation DAG
+// — and therefore every output bit — is identical to the textbook
+// dot-product form; but the inner loop carries no dependency chain, so
+// it runs at memory/issue throughput instead of FP-subtract latency.
+// Column k of L is row k of the cached transpose, keeping the scatter
+// contiguous.
 func (c *Cholesky) forwardSolve(y []float64) {
 	n := c.n
-	for i := 0; i < n; i++ {
-		row := c.l.Row(i)
-		s := y[i]
-		for k := 0; k < i; k++ {
-			s -= row[k] * y[k]
+	lt := c.lt
+	y = y[:n]
+	k := 0
+	// Four columns per sweep: each tail element is loaded and stored once
+	// for all four updates. The subtractions land in increasing-k order,
+	// exactly as a column-at-a-time sweep would apply them; only the
+	// memory traffic is batched, not the arithmetic.
+	for ; k+4 <= n; k += 4 {
+		off0 := k * n
+		off1 := off0 + n
+		off2 := off1 + n
+		off3 := off2 + n
+		// Solve the 4×4 triangular corner sequentially.
+		yk0 := y[k] / lt[off0+k]
+		y[k] = yk0
+		yk1 := (y[k+1] - lt[off0+k+1]*yk0) / lt[off1+k+1]
+		y[k+1] = yk1
+		yk2 := ((y[k+2] - lt[off0+k+2]*yk0) - lt[off1+k+2]*yk1) / lt[off2+k+2]
+		y[k+2] = yk2
+		yk3 := (((y[k+3] - lt[off0+k+3]*yk0) - lt[off1+k+3]*yk1) - lt[off2+k+3]*yk2) / lt[off3+k+3]
+		y[k+3] = yk3
+		col0 := lt[off0+k+4 : off0+n]
+		col1 := lt[off1+k+4 : off1+n]
+		col2 := lt[off2+k+4 : off2+n]
+		col3 := lt[off3+k+4 : off3+n]
+		tail := y[k+4 : n]
+		tail = tail[:len(col0)]
+		col1 = col1[:len(col0)]
+		col2 = col2[:len(col0)]
+		col3 = col3[:len(col0)]
+		for i, c0 := range col0 {
+			t := tail[i] - c0*yk0
+			t -= col1[i] * yk1
+			t -= col2[i] * yk2
+			tail[i] = t - col3[i]*yk3
 		}
-		y[i] = s / row[i]
+	}
+	for ; k < n; k++ {
+		off := k * n
+		yk := y[k] / lt[off+k]
+		y[k] = yk
+		col := lt[off+k+1 : off+n]
+		tail := y[k+1 : n]
+		tail = tail[:len(col)]
+		for i, ck := range col {
+			tail[i] -= ck * yk
+		}
 	}
 }
 
 func (c *Cholesky) backSolve(y []float64) {
 	n := c.n
+	lt := c.lt
+	y = y[:n]
+	for i := n - 1; i >= 0; i-- {
+		off := i * n
+		row := lt[off+i+1 : off+n] // L[k][i] for k = i+1 … n-1
+		yk := y[i+1 : n]
+		s := y[i]
+		for k, rk := range row {
+			s -= rk * yk[k]
+		}
+		y[i] = s / lt[off+i]
+	}
+}
+
+// forwardSolveDirect is the left-looking (dot-product) form operating on
+// the factor's native row-major layout — no transpose cache required. It
+// evaluates the same operation DAG as forwardSolve: each y[i] subtracts
+// L[i][k]·y[k] in increasing k, then divides.
+func (c *Cholesky) forwardSolveDirect(y []float64) {
+	n := c.n
+	data := c.l.data
+	y = y[:n]
+	for i := 0; i < n; i++ {
+		off := i * n
+		row := data[off : off+i]
+		yi := y[:i]
+		s := y[i]
+		for k, rk := range row {
+			s -= rk * yi[k]
+		}
+		y[i] = s / data[off+i]
+	}
+}
+
+// backSolveDirect is the transpose-free back substitution, striding down
+// columns of the native layout. Identical operation sequence to
+// backSolve.
+func (c *Cholesky) backSolveDirect(y []float64) {
+	n := c.n
+	data := c.l.data
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
-			s -= c.l.data[k*n+i] * y[k]
+			s -= data[k*n+i] * y[k]
 		}
-		y[i] = s / c.l.data[i*n+i]
+		y[i] = s / data[i*n+i]
 	}
 }
 
@@ -169,8 +367,13 @@ func (c *Cholesky) SolveMat(b *Dense) *Dense {
 		for i := 0; i < c.n; i++ {
 			col[i] = b.At(i, j)
 		}
-		c.forwardSolve(col)
-		c.backSolve(col)
+		if c.useFast() {
+			c.forwardSolve(col)
+			c.backSolve(col)
+		} else {
+			c.forwardSolveDirect(col)
+			c.backSolveDirect(col)
+		}
 		for i := 0; i < c.n; i++ {
 			x.Set(i, j, col[i])
 		}
@@ -245,7 +448,11 @@ func (c *Cholesky) Extend(b *Dense, cc *Dense) (*Cholesky, error) {
 		for i := 0; i < n; i++ {
 			col[i] = b.At(i, j)
 		}
-		c.forwardSolve(col)
+		if c.useFast() {
+			c.forwardSolve(col)
+		} else {
+			c.forwardSolveDirect(col)
+		}
 		copy(w.Row(j), col)
 		copy(out.l.Row(n + j)[:n], col)
 	}

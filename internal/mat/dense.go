@@ -138,16 +138,25 @@ func (m *Dense) T() *Dense {
 	return t
 }
 
-// Mul returns a*b.
+// Mul returns a*b in a fresh matrix.
 func Mul(a, b *Dense) *Dense {
+	return MulInto(NewDense(a.rows, b.cols, nil), a, b)
+}
+
+// MulInto computes a·b into dst and returns dst. dst must be a.rows×b.cols
+// and must not alias a or b; its previous contents are overwritten.
+func MulInto(dst, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: mul dims %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
 	}
-	out := NewDense(a.rows, b.cols, nil)
+	if dst.rows != a.rows || dst.cols != b.cols {
+		panic(fmt.Sprintf("mat: mul dst dims %d×%d != %d×%d", dst.rows, dst.cols, a.rows, b.cols))
+	}
+	dst.Zero()
 	// ikj loop order for cache friendliness on row-major storage.
 	for i := 0; i < a.rows; i++ {
 		arow := a.Row(i)
-		orow := out.Row(i)
+		orow := dst.Row(i)
 		for k := 0; k < a.cols; k++ {
 			aik := arow[k]
 			if fp.Zero(aik) {
@@ -159,27 +168,46 @@ func Mul(a, b *Dense) *Dense {
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // MulVec returns a·x as a new vector.
 func MulVec(a *Dense, x []float64) []float64 {
+	return MulVecInto(make([]float64, a.rows), a, x)
+}
+
+// MulVecInto computes a·x into dst (length a.rows) and returns dst. dst
+// must not alias x.
+func MulVecInto(dst []float64, a *Dense, x []float64) []float64 {
 	if a.cols != len(x) {
 		panic(fmt.Sprintf("mat: mulvec dims %d×%d · %d", a.rows, a.cols, len(x)))
 	}
-	out := make([]float64, a.rows)
-	for i := 0; i < a.rows; i++ {
-		out[i] = Dot(a.Row(i), x)
+	if len(dst) != a.rows {
+		panic(fmt.Sprintf("mat: mulvec dst length %d != %d", len(dst), a.rows))
 	}
-	return out
+	for i := 0; i < a.rows; i++ {
+		dst[i] = Dot(a.Row(i), x)
+	}
+	return dst
 }
 
 // MulVecT returns aᵀ·x as a new vector.
 func MulVecT(a *Dense, x []float64) []float64 {
+	return MulVecTInto(make([]float64, a.cols), a, x)
+}
+
+// MulVecTInto computes aᵀ·x into dst (length a.cols) and returns dst. dst
+// must not alias x; its previous contents are overwritten.
+func MulVecTInto(dst []float64, a *Dense, x []float64) []float64 {
 	if a.rows != len(x) {
 		panic(fmt.Sprintf("mat: mulvecT dims %d×%d ᵀ· %d", a.rows, a.cols, len(x)))
 	}
-	out := make([]float64, a.cols)
+	if len(dst) != a.cols {
+		panic(fmt.Sprintf("mat: mulvecT dst length %d != %d", len(dst), a.cols))
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
 	for i := 0; i < a.rows; i++ {
 		xi := x[i]
 		if fp.Zero(xi) {
@@ -187,10 +215,10 @@ func MulVecT(a *Dense, x []float64) []float64 {
 		}
 		row := a.Row(i)
 		for j, v := range row {
-			out[j] += xi * v
+			dst[j] += xi * v
 		}
 	}
-	return out
+	return dst
 }
 
 // Dot returns the inner product of a and b.

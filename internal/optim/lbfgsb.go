@@ -10,6 +10,7 @@ package optim
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/mat"
 )
@@ -108,6 +109,55 @@ func projGradNorm(x, g, lo, hi []float64) float64 {
 	return n
 }
 
+// lbfgsbWorkspace carries every buffer one Minimize call needs: the
+// iterate, gradient and line-search vectors plus the curvature-pair ring
+// (Memory vectors of s, y and their rho). Minimize is the inner loop of
+// every acquisition maximization, so the buffers are pooled and recycled
+// instead of reallocated per start.
+type lbfgsbWorkspace struct {
+	x, g, dir, xNew, gNew []float64
+	sTmp, yTmp            []float64
+	alpha, rho            []float64
+	s, y                  [][]float64 // ring slots, each of length n
+}
+
+var lbfgsbPool = sync.Pool{New: func() any { return new(lbfgsbWorkspace) }}
+
+// grab resizes the workspace for an n-dimensional problem with mem
+// curvature pairs. Buffers grow monotonically and are reused across
+// Minimize calls through the pool.
+func (w *lbfgsbWorkspace) grab(n, mem int) {
+	if cap(w.x) < n {
+		w.x = make([]float64, n)
+		w.g = make([]float64, n)
+		w.dir = make([]float64, n)
+		w.xNew = make([]float64, n)
+		w.gNew = make([]float64, n)
+		w.sTmp = make([]float64, n)
+		w.yTmp = make([]float64, n)
+	}
+	w.x, w.g, w.dir = w.x[:n], w.g[:n], w.dir[:n]
+	w.xNew, w.gNew = w.xNew[:n], w.gNew[:n]
+	w.sTmp, w.yTmp = w.sTmp[:n], w.yTmp[:n]
+	if cap(w.alpha) < mem {
+		w.alpha = make([]float64, mem)
+		w.rho = make([]float64, mem)
+	}
+	w.alpha, w.rho = w.alpha[:mem], w.rho[:mem]
+	if len(w.s) < mem || (len(w.s) > 0 && cap(w.s[0]) < n) {
+		w.s = make([][]float64, mem)
+		w.y = make([][]float64, mem)
+		for i := range w.s {
+			w.s[i] = make([]float64, n)
+			w.y[i] = make([]float64, n)
+		}
+	}
+	for i := range w.s {
+		w.s[i] = w.s[i][:n]
+		w.y[i] = w.y[i][:n]
+	}
+}
+
 // Minimize runs bound-constrained L-BFGS from x0. The bounds must satisfy
 // lo_i <= hi_i; x0 is clamped into the box before the first evaluation.
 func (o *LBFGSB) Minimize(f GradObjective, x0, lo, hi []float64) Result {
@@ -122,23 +172,23 @@ func (o *LBFGSB) Minimize(f GradObjective, x0, lo, hi []float64) Result {
 		}
 	}
 
-	x := mat.CloneVec(x0)
+	ws := lbfgsbPool.Get().(*lbfgsbWorkspace)
+	ws.grab(n, cfg.Memory)
+	x := ws.x
+	copy(x, x0)
 	clampToBox(x, lo, hi)
-	g := make([]float64, n)
+	g := ws.g
 	fx := f(x, g)
 	evals := 1
 
-	// Curvature pair ring buffers.
-	type pair struct {
-		s, y []float64
-		rho  float64
-	}
-	var pairs []pair
+	// Curvature pairs live in a ring of preallocated slots: logical pair i
+	// (0 = oldest) sits in slot (start+i) mod Memory.
+	start, count := 0, 0
 
-	dir := make([]float64, n)
-	xNew := make([]float64, n)
-	gNew := make([]float64, n)
-	alphaBuf := make([]float64, cfg.Memory)
+	dir := ws.dir
+	xNew := ws.xNew
+	gNew := ws.gNew
+	alphaBuf := ws.alpha
 
 	res := Result{X: x, F: fx, Evals: evals}
 	for iter := 0; iter < cfg.MaxIter; iter++ {
@@ -163,23 +213,22 @@ func (o *LBFGSB) Minimize(f GradObjective, x0, lo, hi []float64) Result {
 				dir[i] = 0
 			}
 		}
-		k := len(pairs)
-		for i := k - 1; i >= 0; i-- {
-			p := pairs[i]
-			alphaBuf[i] = p.rho * mat.Dot(p.s, dir)
-			mat.AxpyVec(-alphaBuf[i], p.y, dir)
+		for i := count - 1; i >= 0; i-- {
+			slot := (start + i) % cfg.Memory
+			alphaBuf[i] = ws.rho[slot] * mat.Dot(ws.s[slot], dir)
+			mat.AxpyVec(-alphaBuf[i], ws.y[slot], dir)
 		}
-		if k > 0 {
-			last := pairs[k-1]
-			gamma := mat.Dot(last.s, last.y) / mat.Dot(last.y, last.y)
+		if count > 0 {
+			last := (start + count - 1) % cfg.Memory
+			gamma := mat.Dot(ws.s[last], ws.y[last]) / mat.Dot(ws.y[last], ws.y[last])
 			if gamma > 0 && !math.IsInf(gamma, 0) && !math.IsNaN(gamma) {
 				mat.ScaleVec(gamma, dir)
 			}
 		}
-		for i := 0; i < k; i++ {
-			p := pairs[i]
-			beta := p.rho * mat.Dot(p.y, dir)
-			mat.AxpyVec(alphaBuf[i]-beta, p.s, dir)
+		for i := 0; i < count; i++ {
+			slot := (start + i) % cfg.Memory
+			beta := ws.rho[slot] * mat.Dot(ws.y[slot], dir)
+			mat.AxpyVec(alphaBuf[i]-beta, ws.s[slot], dir)
 		}
 		mat.ScaleVec(-1, dir) // descent direction
 
@@ -198,7 +247,7 @@ func (o *LBFGSB) Minimize(f GradObjective, x0, lo, hi []float64) Result {
 		// any curvature information exists the direction is raw steepest
 		// descent, so scale the first trial step to a unit move.
 		step := 1.0
-		if len(pairs) == 0 {
+		if count == 0 {
 			if dn := mat.Norm2(dir); dn > 1 {
 				step = 1 / dn
 			}
@@ -234,19 +283,29 @@ func (o *LBFGSB) Minimize(f GradObjective, x0, lo, hi []float64) Result {
 			break
 		}
 
-		// Curvature update.
-		s := make([]float64, n)
-		yv := make([]float64, n)
+		// Curvature update. The candidate pair is built in spare buffers
+		// first: if the curvature test fails, no ring slot (possibly still
+		// live) may be touched.
+		s := ws.sTmp
+		yv := ws.yTmp
 		for i := range s {
 			s[i] = xNew[i] - x[i]
 			yv[i] = gNew[i] - g[i]
 		}
 		sy := mat.Dot(s, yv)
 		if sy > 1e-10*mat.Norm2(s)*mat.Norm2(yv) {
-			if len(pairs) == cfg.Memory {
-				pairs = pairs[1:]
+			var slot int
+			if count == cfg.Memory {
+				// Ring full: the oldest slot is dropped and becomes the newest.
+				slot = start
+				start = (start + 1) % cfg.Memory
+			} else {
+				slot = (start + count) % cfg.Memory
+				count++
 			}
-			pairs = append(pairs, pair{s: s, y: yv, rho: 1 / sy})
+			copy(ws.s[slot], s)
+			copy(ws.y[slot], yv)
+			ws.rho[slot] = 1 / sy
 		}
 
 		fPrev := fx
@@ -265,19 +324,29 @@ func (o *LBFGSB) Minimize(f GradObjective, x0, lo, hi []float64) Result {
 	}
 	res.X = mat.CloneVec(x)
 	res.F = fx
+	lbfgsbPool.Put(ws)
 	return res
 }
 
+var numGradPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // NumGrad wraps a plain objective into a GradObjective using central finite
 // differences with step h (default 1e-6 when h <= 0). It is the fallback
-// for objectives without analytic gradients, e.g. Monte-Carlo q-EI.
+// for objectives without analytic gradients, e.g. Monte-Carlo q-EI. The
+// perturbed-point scratch is pooled, so the returned closure is
+// allocation-free in steady state and safe for concurrent callers.
 func NumGrad(f Objective, h float64) GradObjective {
 	if h <= 0 {
 		h = 1e-6
 	}
 	return func(x, grad []float64) float64 {
 		fx := f(x)
-		xh := mat.CloneVec(x)
+		buf := numGradPool.Get().(*[]float64)
+		if cap(*buf) < len(x) {
+			*buf = make([]float64, len(x))
+		}
+		xh := (*buf)[:len(x)]
+		copy(xh, x)
 		for i := range x {
 			xh[i] = x[i] + h
 			up := f(xh)
@@ -286,6 +355,7 @@ func NumGrad(f Objective, h float64) GradObjective {
 			xh[i] = x[i]
 			grad[i] = (up - dn) / (2 * h)
 		}
+		numGradPool.Put(buf)
 		return fx
 	}
 }

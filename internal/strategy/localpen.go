@@ -53,8 +53,12 @@ func (s *LocalPenalization) estimateLipschitz(model surrogate.Surrogate, lo, hi 
 	}
 	pts := rng.SobolDesign(n, lo, hi, stream)
 	best := 1e-8
+	// Gradient buffers hoisted out of the probe loop: every probe writes
+	// into the same pair.
+	dMu := make([]float64, len(lo))
+	dSD := make([]float64, len(lo))
 	for _, x := range pts {
-		_, _, dMu, _ := model.PredictWithGrad(x)
+		model.PredictWithGrad(x, dMu, dSD)
 		// Norm in normalized coordinates so dimensions are comparable.
 		var sum float64
 		for j, g := range dMu {

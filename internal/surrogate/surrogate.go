@@ -30,13 +30,17 @@ type Surrogate interface {
 	// Predict returns the posterior mean and standard deviation of the
 	// latent function at x.
 	Predict(x []float64) (mean, sd float64)
-	// PredictWithGrad additionally returns the gradients of the mean and
-	// standard deviation with respect to x, for gradient-based acquisition
-	// optimization.
-	PredictWithGrad(x []float64) (mean, sd float64, dMean, dSD []float64)
+	// PredictWithGrad additionally writes the gradients of the mean and
+	// standard deviation with respect to x into the caller-provided
+	// dMean and dSD (both of length Dim), for gradient-based acquisition
+	// optimization. The destination-passing signature keeps the
+	// acquisition inner loop allocation-free: callers own and recycle the
+	// gradient buffers (see DESIGN.md §9).
+	PredictWithGrad(x []float64, dMean, dSD []float64) (mean, sd float64)
 	// PredictJoint returns the joint posterior over a batch of points,
 	// as needed by Monte-Carlo multi-point criteria (q-EI, q-UCB) and
-	// discrete Thompson sampling.
+	// discrete Thompson sampling. An empty batch returns an error
+	// wrapping ErrEmptyBatch.
 	PredictJoint(xs [][]float64) (*JointPrediction, error)
 	// Fantasize conditions on a hypothetical observation (x, y) without
 	// re-estimating hyperparameters — the Kriging-Believer partial update.
@@ -84,3 +88,8 @@ type JointPrediction struct {
 // provide (e.g. fantasy conditioning of a deep ensemble). Test with
 // errors.Is.
 var ErrUnsupported = errors.New("surrogate: operation not supported by model family")
+
+// ErrEmptyBatch reports a joint prediction requested over zero points.
+// All model families wrap it from PredictJoint rather than panicking, so
+// batch-construction bugs surface as ordinary errors. Test with errors.Is.
+var ErrEmptyBatch = errors.New("surrogate: empty prediction batch")

@@ -1,0 +1,10 @@
+//go:build !race
+
+// Package testutil holds small helpers shared by test files across
+// packages. It contains no production code.
+package testutil
+
+// RaceEnabled reports whether the binary was built with -race. Alloc
+// regression tests skip under the race detector: instrumentation and
+// sync.Pool sanitizer hooks perturb allocation counts.
+const RaceEnabled = false

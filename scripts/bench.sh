@@ -1,0 +1,78 @@
+#!/bin/sh
+# bench.sh — hot-path benchmark runner and evidence writer.
+#
+# Runs the gp and acq benchmark suites with -benchmem and writes a JSON
+# summary (name, ns/op, B/op, allocs/op per benchmark) for checking in
+# as evidence alongside performance-sensitive changes.
+#
+# Usage:
+#   ./scripts/bench.sh             # full-accuracy run -> BENCH_hotpath.json
+#   ./scripts/bench.sh -check     # also enforce the alloc budgets below
+#
+# Environment:
+#   BENCHTIME   go test -benchtime value (default 2s; use 1x in gates)
+#   OUT         output JSON path (default BENCH_hotpath.json in repo root)
+#
+# Alloc budgets (enforced with -check): the zero-allocation contract of
+# DESIGN.md §9. A regression here means a pooled workspace or
+# destination-passing path started allocating again.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_hotpath.json}"
+CHECK=0
+if [ "${1:-}" = "-check" ]; then
+    CHECK=1
+fi
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'Predict|Fantasize|EIEval|EIGrad|QEIBatch' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/gp/ ./internal/acq/ >"$raw"
+
+awk '
+BEGIN { print "["; first = 1 }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 2; i <= NF; i++) {
+        if ($(i+1) == "ns/op") ns = $i
+        if ($(i+1) == "B/op") bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (!first) print ","
+    first = 0
+    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
+}
+END { print "\n]" }
+' "$raw" >"$OUT"
+
+echo "bench.sh: wrote $OUT"
+
+if [ "$CHECK" = "1" ]; then
+    # name:max_allocs_per_op pairs pinned by the hot-path contract.
+    budgets="BenchmarkPredict256:0 BenchmarkPredictWithGrad256:0 BenchmarkEIEval256:0 BenchmarkEIGrad256:0"
+    fail=0
+    for budget in $budgets; do
+        name=${budget%%:*}
+        max=${budget##*:}
+        got=$(awk -v n="$name" '$1 ~ "^"n"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="allocs/op") print $i }' "$raw")
+        if [ -z "$got" ]; then
+            echo "bench.sh: FAIL: benchmark $name did not run" >&2
+            fail=1
+        elif [ "$got" -gt "$max" ]; then
+            echo "bench.sh: FAIL: $name allocates $got/op, budget $max" >&2
+            fail=1
+        fi
+    done
+    if [ "$fail" = "1" ]; then
+        exit 1
+    fi
+    echo "bench.sh: alloc budgets hold"
+fi

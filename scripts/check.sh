@@ -2,9 +2,12 @@
 # check.sh — the single local/CI verification gate (tier-1+).
 #
 # Runs, in order: formatting, vet, build, the project's own invariant
-# linter (cmd/pbolint), the full test suite under the race detector, and
-# a single-iteration pass over every benchmark so bench code cannot rot
-# uncompiled. Any failure stops the gate with a nonzero exit.
+# linter (cmd/pbolint), the full test suite under the race detector, the
+# hot-path allocation-regression tests without the race detector (alloc
+# counts are only meaningful uninstrumented), a single-iteration pass
+# over every benchmark so bench code cannot rot uncompiled, and one fast
+# bench.sh pass that enforces the zero-allocation budgets of DESIGN.md
+# §9. Any failure stops the gate with a nonzero exit.
 #
 # Usage: ./scripts/check.sh
 set -eu
@@ -31,7 +34,15 @@ go run ./cmd/pbolint ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== alloc-regression tests (no race detector)"
+go test -run 'Alloc' ./internal/mat/ ./internal/kernel/ ./internal/gp/
+
 echo "== benchmarks compile and run once"
 go test -run '^$' -bench . -benchtime 1x ./...
+
+echo "== bench.sh alloc budgets"
+benchjson=$(mktemp)
+BENCHTIME=100x OUT="$benchjson" ./scripts/bench.sh -check
+rm -f "$benchjson"
 
 echo "check.sh: all gates passed"
