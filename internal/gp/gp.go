@@ -16,14 +16,23 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 
 	"repro/internal/kernel"
 	"repro/internal/mat"
 	"repro/internal/optim"
+	"repro/internal/parallel"
 	"repro/internal/rng"
 	"repro/internal/surrogate"
 )
+
+// parallelJointN is the training-set size at which PredictJoint splits
+// its q independent fill+solve columns across parallel.ForEach workers.
+// Below it the forward solves are too cheap to amortize the fan-out. A
+// variable (not a const) so bit-identity tests can force both branches
+// on small fixtures.
+var parallelJointN = 4096
 
 // KernelKind selects the covariance family for Config.
 type KernelKind int
@@ -491,7 +500,7 @@ func (g *GP) normalizeInto(dst, x []float64) {
 func (g *GP) Predict(x []float64) (mean, sd float64) {
 	ws := g.ws.Get().(*predictWorkspace)
 	g.normalizeInto(ws.u, x)
-	g.kern.EvalRow(ws.ks, ws.u, g.x.Data())
+	kernel.EvalRowAuto(g.kern, ws.ks, ws.u, g.x.Data())
 	mu := mat.Dot(ws.ks, g.alpha)
 	g.chol.ForwardSolveVecInto(ws.v, ws.ks)
 	variance := g.kern.Eval(ws.u, ws.u) - mat.Dot(ws.v, ws.v)
@@ -516,7 +525,7 @@ func (g *GP) PredictWithGrad(x []float64, dMean, dSD []float64) (mean, sd float6
 	u := ws.u
 	g.normalizeInto(u, x)
 	// One pass over the training block fills k★ and every ∂k(u, x_i)/∂u row.
-	g.kern.EvalRowWithGrad(ws.ks, ws.kg, u, g.x.Data())
+	kernel.EvalRowWithGradAuto(g.kern, ws.ks, ws.kg, u, g.x.Data())
 	g.chol.ForwardSolveVecInto(ws.v, ws.ks) // L⁻¹ k*
 	g.chol.BackSolveVecInto(ws.w, ws.v)     // K⁻¹ k*
 	mu := mat.Dot(ws.ks, g.alpha)           // standardized mean
@@ -569,14 +578,30 @@ func (g *GP) PredictJoint(xs [][]float64) (*JointPrediction, error) {
 	}
 	mean := make([]float64, q)
 	vstore := mat.NewDense(q, n, nil) // row i holds L⁻¹ k*(x_i)
-	ws := g.ws.Get().(*predictWorkspace)
-	ks := ws.ks
-	for i := 0; i < q; i++ {
-		g.kern.EvalRow(ks, ustore.Row(i), g.x.Data())
-		mean[i] = g.ymean + g.ystd*mat.Dot(ks, g.alpha)
-		g.chol.ForwardSolveVecInto(vstore.Row(i), ks)
+	if n >= parallelJointN && q > 1 {
+		// Large-n batch path: the q fill+solve columns are independent, so
+		// split them across workers. Row i's k★ lands in vstore.Row(i) and
+		// is forward-solved in place (ForwardSolveVecInto permits dst
+		// aliasing b), so no scratch is shared between iterations and the
+		// result is bitwise-identical to the serial loop below.
+		if err := parallel.ForEach(context.Background(), runtime.GOMAXPROCS(0), q, func(i int) {
+			row := vstore.Row(i)
+			g.kern.EvalRow(row, ustore.Row(i), g.x.Data())
+			mean[i] = g.ymean + g.ystd*mat.Dot(row, g.alpha)
+			g.chol.ForwardSolveVecInto(row, row)
+		}); err != nil {
+			panic(err) // unreachable: the background context is never cancelled
+		}
+	} else {
+		ws := g.ws.Get().(*predictWorkspace)
+		ks := ws.ks
+		for i := 0; i < q; i++ {
+			kernel.EvalRowAuto(g.kern, ks, ustore.Row(i), g.x.Data())
+			mean[i] = g.ymean + g.ystd*mat.Dot(ks, g.alpha)
+			g.chol.ForwardSolveVecInto(vstore.Row(i), ks)
+		}
+		g.ws.Put(ws)
 	}
-	g.ws.Put(ws)
 	cov := mat.NewDense(q, q, nil)
 	for i := 0; i < q; i++ {
 		for j := 0; j <= i; j++ {
@@ -603,13 +628,14 @@ func (g *GP) Fantasize(x []float64, y float64) (surrogate.Surrogate, error) {
 	ws := g.ws.Get().(*predictWorkspace)
 	u := ws.u
 	g.normalizeInto(u, x)
-	// The n×1 cross block's backing slice is its single column, so the
-	// batched kernel row fills it directly (k is symmetric, bitwise).
-	b := mat.NewDense(n, 1, nil)
-	g.kern.EvalRow(b.Data(), u, g.x.Data())
+	// An n×1 cross block in column-major order is just the column itself,
+	// so the batched kernel row fills it directly (k is symmetric, bitwise)
+	// and ExtendCols consumes it without any transpose pass.
+	bcol := make([]float64, n)
+	kernel.EvalRowAuto(g.kern, bcol, u, g.x.Data())
 	cc := mat.NewDense(1, 1, nil)
 	cc.Set(0, 0, g.kern.Eval(u, u)+g.noise)
-	ext, err := g.chol.Extend(b, cc)
+	ext, err := g.chol.ExtendCols(bcol, cc)
 	if err != nil {
 		g.ws.Put(ws)
 		return nil, fmt.Errorf("gp: fantasy extension failed: %w", err)

@@ -1,0 +1,49 @@
+package kernel
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// The EvalRowFill pair measures the batched k★ fill at a size past the
+// parallel threshold: Serial pins the single-goroutine baseline, Auto
+// takes the parallel.ForEach split (which collapses to the same inline
+// loop at GOMAXPROCS=1 — the two are expected to track each other on one
+// core and diverge on many).
+
+const benchFillN = 8192
+
+func benchFillFixture(b *testing.B) (Kernel, []float64, []float64, []float64) {
+	b.Helper()
+	const d = 12
+	stream := rng.New(3, 17)
+	_, flat := rowBlock(stream, benchFillN, d)
+	x := randPoint(stream, d)
+	return NewMatern52(d), x, flat, make([]float64, benchFillN)
+}
+
+func BenchmarkEvalRowFillSerial8192(b *testing.B) {
+	k, x, flat, dst := benchFillFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.EvalRow(dst, x, flat)
+	}
+}
+
+func BenchmarkEvalRowFillAuto8192(b *testing.B) {
+	k, x, flat, dst := benchFillFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalRowAuto(k, dst, x, flat)
+	}
+}
+
+func BenchmarkEvalRowFillGradAuto8192(b *testing.B) {
+	k, x, flat, dst := benchFillFixture(b)
+	gradx := make([]float64, benchFillN*k.Dim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EvalRowWithGradAuto(k, dst, gradx, x, flat)
+	}
+}

@@ -201,6 +201,13 @@ func (c *Cholesky) BackSolveVecInto(dst, b []float64) []float64 {
 // true. Both layouts execute the identical floating-point operation
 // sequence, so the answer only affects speed, never bits — which also
 // makes the benign race between concurrent first solves harmless.
+//
+// useFast is a STATE MUTATION, not a query: every call advances the
+// fast-path trigger by marking the factor as solved. Callers that merely
+// want to know which path a multi-solve operation should take — or that
+// hold a factor for read-only inspection — must use pathFast instead, or
+// they will force the O(n²) transpose build onto factors the trigger was
+// designed to spare.
 func (c *Cholesky) useFast() bool {
 	if c.solved.Load() {
 		c.ltOnce.Do(c.buildTranspose)
@@ -210,9 +217,26 @@ func (c *Cholesky) useFast() bool {
 	return false
 }
 
+// pathFast reports which solve kernels a multi-column operation (Extend,
+// SolveMat) should use, without advancing the fast-path trigger. A fresh
+// factor runs every column on the direct layout and leaves the transpose
+// cache unbuilt — preserving the "single-solve factors never pay the
+// build" invariant even when one Extend spans many columns — while a
+// factor that has already served at least one solve gets the cached
+// layout (building it if needed: this is at least its second use). Both
+// paths produce identical bits, so the choice only affects speed.
+func (c *Cholesky) pathFast() bool {
+	if c.solved.Load() {
+		c.ltOnce.Do(c.buildTranspose)
+		return true
+	}
+	return false
+}
+
 // buildTranspose fills the cached row-major copy of Lᵀ. Reached only
-// through ensureTranspose. The copy runs over square tiles so that
-// neither side of the transpose strides a full row per element.
+// through useFast and pathFast (via their sync.Once). The copy runs over
+// square tiles so that neither side of the transpose strides a full row
+// per element.
 func (c *Cholesky) buildTranspose() {
 	n := c.n
 	if len(c.lt) != n*n {
@@ -356,26 +380,31 @@ func (c *Cholesky) backSolveDirect(y []float64) {
 	}
 }
 
-// SolveMat solves A·X = B column-wise and returns X.
+// SolveMat solves A·X = B column-wise and returns X. The solve path is
+// chosen once up front via pathFast, so a fresh factor runs every column
+// on the direct layout without building the transpose cache or advancing
+// the fast-path trigger.
 func (c *Cholesky) SolveMat(b *Dense) *Dense {
 	if b.rows != c.n {
 		panic(fmt.Sprintf("mat: cholesky solve rows %d != %d", b.rows, c.n))
 	}
+	fast := c.pathFast()
+	n := c.n
 	x := NewDense(b.rows, b.cols, nil)
-	col := make([]float64, c.n)
+	col := make([]float64, n)
 	for j := 0; j < b.cols; j++ {
-		for i := 0; i < c.n; i++ {
-			col[i] = b.At(i, j)
+		for i := 0; i < n; i++ {
+			col[i] = b.data[i*b.cols+j]
 		}
-		if c.useFast() {
+		if fast {
 			c.forwardSolve(col)
 			c.backSolve(col)
 		} else {
 			c.forwardSolveDirect(col)
 			c.backSolveDirect(col)
 		}
-		for i := 0; i < c.n; i++ {
-			x.Set(i, j, col[i])
+		for i := 0; i < n; i++ {
+			x.data[i*b.cols+j] = col[i]
 		}
 	}
 	return x
@@ -435,26 +464,73 @@ func (c *Cholesky) Extend(b *Dense, cc *Dense) (*Cholesky, error) {
 	if b.rows != n || b.cols != m || cc.cols != m {
 		panic(fmt.Sprintf("mat: extend dims B=%d×%d C=%d×%d for n=%d", b.rows, b.cols, cc.rows, cc.cols, n))
 	}
+	// Transpose B once, over square tiles, into the contiguous layout the
+	// extension solves consume: w row j holds column j of B. The per-column
+	// At striding of the old implementation is gone — each solve now
+	// streams one contiguous row.
+	w := NewDense(m, n, nil)
+	const tile = 32
+	bd := b.data
+	wd := w.data
+	for ib := 0; ib < n; ib += tile {
+		imax := min(ib+tile, n)
+		for jb := 0; jb < m; jb += tile {
+			jmax := min(jb+tile, m)
+			for i := ib; i < imax; i++ {
+				row := bd[i*m+jb : i*m+jmax]
+				for jo, v := range row {
+					wd[(jb+jo)*n+i] = v
+				}
+			}
+		}
+	}
+	return c.extendW(w, cc)
+}
+
+// ExtendCols is Extend taking the cross block B as a flat column-major
+// slice: column j of B occupies bcols[j*n : (j+1)*n]. This is the
+// contiguous fast path for callers that already hold columns — a k★
+// vector from a fantasy update is exactly one such column — and skips
+// the transpose pass Extend performs on a row-major B. bcols is left
+// unmodified.
+func (c *Cholesky) ExtendCols(bcols []float64, cc *Dense) (*Cholesky, error) {
+	n, m := c.n, cc.rows
+	if cc.cols != m {
+		panic(fmt.Sprintf("mat: extend C block %d×%d not square", cc.rows, cc.cols))
+	}
+	if len(bcols) != n*m {
+		panic(fmt.Sprintf("mat: extend column block length %d != n %d × m %d", len(bcols), n, m))
+	}
+	w := NewDense(m, n, nil)
+	copy(w.data, bcols)
+	return c.extendW(w, cc)
+}
+
+// extendW implements the extension given w, whose row j holds column j
+// of the cross block B on entry; rows are overwritten in place with the
+// solved W = L⁻¹B rows (the single reused solve buffer). The forward
+// solve path is chosen once up front via pathFast: a fresh factor runs
+// every column on the direct layout without building the transpose cache
+// or advancing the fast-path trigger, so Extend on a single-solve parent
+// never pays the O(n²) build — both paths produce identical bits.
+func (c *Cholesky) extendW(w *Dense, cc *Dense) (*Cholesky, error) {
+	n, m := c.n, cc.rows
 	nm := n + m
 	out := &Cholesky{n: nm, l: NewDense(nm, nm, nil)}
 	// Copy existing factor into the top-left block.
 	for i := 0; i < n; i++ {
 		copy(out.l.Row(i)[:i+1], c.l.Row(i)[:i+1])
 	}
-	// Off-diagonal block: solve L·w_j = B[:,j] for each new column.
-	w := NewDense(m, n, nil) // row j holds w_j
-	col := make([]float64, n)
+	// Off-diagonal block: solve L·w_j = B[:,j] in place for each column.
+	fast := c.pathFast()
 	for j := 0; j < m; j++ {
-		for i := 0; i < n; i++ {
-			col[i] = b.At(i, j)
-		}
-		if c.useFast() {
-			c.forwardSolve(col)
+		row := w.Row(j)
+		if fast {
+			c.forwardSolve(row)
 		} else {
-			c.forwardSolveDirect(col)
+			c.forwardSolveDirect(row)
 		}
-		copy(w.Row(j), col)
-		copy(out.l.Row(n + j)[:n], col)
+		copy(out.l.Row(n + j)[:n], row)
 	}
 	// Schur complement S = C − W·Wᵀ, then factorize it into the new corner.
 	s := NewDense(m, m, nil)
@@ -474,4 +550,27 @@ func (c *Cholesky) Extend(b *Dense, cc *Dense) (*Cholesky, error) {
 	}
 	out.jitter = math.Max(c.jitter, sc.jitter)
 	return out, nil
+}
+
+// CholeskyFromLower wraps an explicitly supplied lower-triangular factor
+// L as the Cholesky of A = L·Lᵀ, skipping the O(n³) factorization. The
+// strict upper triangle of l is ignored (the copy zeroes it); every
+// diagonal entry must be strictly positive and finite, or
+// ErrNotPositiveDefinite is returned. Intended for factors restored from
+// storage and for constructing large synthetic models in tests and
+// benchmarks.
+func CholeskyFromLower(l *Dense) (*Cholesky, error) {
+	if l.rows != l.cols {
+		panic(fmt.Sprintf("mat: cholesky factor of non-square %d×%d", l.rows, l.cols))
+	}
+	n := l.rows
+	c := &Cholesky{n: n, l: NewDense(n, n, nil)}
+	for i := 0; i < n; i++ {
+		d := l.data[i*n+i]
+		if !(d > 0) || math.IsInf(d, 1) {
+			return nil, ErrNotPositiveDefinite
+		}
+		copy(c.l.Row(i)[:i+1], l.Row(i)[:i+1])
+	}
+	return c, nil
 }

@@ -7,11 +7,14 @@
 package mat
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"strings"
 
 	"repro/internal/fp"
+	"repro/internal/parallel"
 )
 
 // Dense is a row-major dense matrix.
@@ -143,8 +146,38 @@ func Mul(a, b *Dense) *Dense {
 	return MulInto(NewDense(a.rows, b.cols, nil), a, b)
 }
 
+// Blocking parameters for the large-n product path. Every variant —
+// plain ikj, blocked, and the parallel row split — accumulates each
+// output element in strictly increasing k with the same fp.Zero skip, so
+// all three produce bitwise-identical results and the dispatch below is
+// free to pick purely on speed (the golden-trace tests hold either way).
+const (
+	// mulBlockCrossover is the B-operand element count at or below which
+	// MulInto keeps the plain ikj loop: small products are cache-resident
+	// and the panel machinery only adds loop overhead.
+	mulBlockCrossover = 256 * 256
+	// mulPanelK is the number of B rows fused per k-panel sweep. Each
+	// destination element is loaded and stored once per panel instead of
+	// once per k, cutting dst traffic by the panel height; the adds still
+	// land in increasing-k order, so only memory traffic is batched,
+	// never arithmetic.
+	mulPanelK = 8
+	// mulTileJ bounds the column width of a k-panel sweep so the active
+	// B panel stays cache-resident: mulPanelK×mulTileJ×8 B = 256 KiB.
+	mulTileJ = 4096
+	// mulRowChunk is the row-block granularity of the parallel split.
+	// The partition depends only on the row count, never on the worker
+	// count, and every chunk writes a disjoint destination row range.
+	mulRowChunk = 64
+)
+
 // MulInto computes a·b into dst and returns dst. dst must be a.rows×b.cols
 // and must not alias a or b; its previous contents are overwritten.
+//
+// Large products (B above mulBlockCrossover elements) run on a k-panel
+// blocked kernel, split row-wise across parallel.ForEach workers when
+// GOMAXPROCS allows; results are bitwise-identical to the plain loop for
+// every shape and worker count.
 func MulInto(dst, a, b *Dense) *Dense {
 	if a.cols != b.rows {
 		panic(fmt.Sprintf("mat: mul dims %d×%d · %d×%d", a.rows, a.cols, b.rows, b.cols))
@@ -152,8 +185,29 @@ func MulInto(dst, a, b *Dense) *Dense {
 	if dst.rows != a.rows || dst.cols != b.cols {
 		panic(fmt.Sprintf("mat: mul dst dims %d×%d != %d×%d", dst.rows, dst.cols, a.rows, b.cols))
 	}
+	if b.rows*b.cols <= mulBlockCrossover {
+		mulIKJ(dst, a, b)
+		return dst
+	}
+	chunks := (a.rows + mulRowChunk - 1) / mulRowChunk
+	workers := runtime.GOMAXPROCS(0)
+	if workers == 1 || chunks <= 1 {
+		mulBlockedRows(dst, a, b, 0, a.rows)
+		return dst
+	}
+	if err := parallel.ForEach(context.Background(), workers, chunks, func(c int) {
+		lo := c * mulRowChunk
+		mulBlockedRows(dst, a, b, lo, min(lo+mulRowChunk, a.rows))
+	}); err != nil {
+		panic(err) // unreachable: the background context is never cancelled
+	}
+	return dst
+}
+
+// mulIKJ is the plain ikj product: cache-friendly on row-major storage
+// and the bit-reference for the blocked variants.
+func mulIKJ(dst, a, b *Dense) {
 	dst.Zero()
-	// ikj loop order for cache friendliness on row-major storage.
 	for i := 0; i < a.rows; i++ {
 		arow := a.Row(i)
 		orow := dst.Row(i)
@@ -168,7 +222,101 @@ func MulInto(dst, a, b *Dense) *Dense {
 			}
 		}
 	}
-	return dst
+}
+
+// mulBlockedRows computes destination rows [lo, hi) of a·b with k-panel
+// blocking. For each j-tile it sweeps mulPanelK rows of B at a time,
+// loading and storing each destination element once per panel; the
+// panel's partial adds are applied in increasing-k order, so every output
+// element evaluates the exact floating-point operation DAG of mulIKJ
+// (same association order, same fp.Zero skips — a panel containing a
+// zero multiplier falls back to the per-k form to skip precisely the
+// same terms).
+func mulBlockedRows(dst, a, b *Dense, lo, hi int) {
+	kk, n := a.cols, b.cols
+	for i := lo; i < hi; i++ {
+		row := dst.Row(i)
+		for j := range row {
+			row[j] = 0
+		}
+	}
+	for jb := 0; jb < n; jb += mulTileJ {
+		jmax := min(jb+mulTileJ, n)
+		for i := lo; i < hi; i++ {
+			arow := a.Row(i)
+			orow := dst.data[i*n+jb : i*n+jmax]
+			k := 0
+			for ; k+mulPanelK <= kk; k += mulPanelK {
+				ap := arow[k : k+mulPanelK]
+				if anyZero(ap) {
+					mulScalarK(orow, b, arow, k, k+mulPanelK, jb, jmax)
+					continue
+				}
+				a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+				a4, a5, a6, a7 := ap[4], ap[5], ap[6], ap[7]
+				b0 := b.data[k*n+jb : k*n+jmax]
+				b1 := b.data[(k+1)*n+jb : (k+1)*n+jmax]
+				b2 := b.data[(k+2)*n+jb : (k+2)*n+jmax]
+				b3 := b.data[(k+3)*n+jb : (k+3)*n+jmax]
+				b4 := b.data[(k+4)*n+jb : (k+4)*n+jmax]
+				b5 := b.data[(k+5)*n+jb : (k+5)*n+jmax]
+				b6 := b.data[(k+6)*n+jb : (k+6)*n+jmax]
+				b7 := b.data[(k+7)*n+jb : (k+7)*n+jmax]
+				b1 = b1[:len(b0)]
+				b2 = b2[:len(b0)]
+				b3 = b3[:len(b0)]
+				b4 = b4[:len(b0)]
+				b5 = b5[:len(b0)]
+				b6 = b6[:len(b0)]
+				b7 = b7[:len(b0)]
+				orow = orow[:len(b0)]
+				for j, bv := range b0 {
+					t := orow[j] + a0*bv
+					t += a1 * b1[j]
+					t += a2 * b2[j]
+					t += a3 * b3[j]
+					t += a4 * b4[j]
+					t += a5 * b5[j]
+					t += a6 * b6[j]
+					t += a7 * b7[j]
+					orow[j] = t
+				}
+			}
+			if k < kk {
+				mulScalarK(orow, b, arow, k, kk, jb, jmax)
+			}
+		}
+	}
+}
+
+// mulScalarK applies B rows [k0, k1) to one destination row segment in
+// the per-k form — the panel fallback and remainder path, identical to
+// the inner loops of mulIKJ.
+func mulScalarK(orow []float64, b *Dense, arow []float64, k0, k1, jb, jmax int) {
+	n := b.cols
+	for k := k0; k < k1; k++ {
+		aik := arow[k]
+		if fp.Zero(aik) {
+			continue
+		}
+		brow := b.data[k*n+jb : k*n+jmax]
+		brow = brow[:len(orow)]
+		for j, bv := range brow {
+			orow[j] += aik * bv
+		}
+	}
+}
+
+// anyZero reports whether the panel multipliers contain an exact zero,
+// which forces the per-k fallback so the fp.Zero skip semantics of the
+// plain loop are preserved bit-for-bit.
+func anyZero(s []float64) bool {
+	for _, v := range s {
+		if fp.Zero(v) {
+			return true
+		}
+	}
+	return false
 }
 
 // MulVec returns a·x as a new vector.

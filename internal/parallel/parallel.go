@@ -11,6 +11,7 @@ package parallel
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"time"
 )
@@ -38,8 +39,13 @@ func FixedCost(f func(x []float64) float64, cost time.Duration) Evaluator {
 
 // Pool evaluates batches of candidates concurrently.
 type Pool struct {
-	// Workers bounds concurrent evaluations; 0 means unbounded (one
-	// goroutine per batch member, matching one MPI rank per candidate).
+	// Workers bounds concurrent evaluations; 0 means unbounded for the
+	// purposes of virtual-time accounting (one MPI rank per batch member,
+	// so the round costs the single slowest evaluation). The number of
+	// real goroutines is nevertheless clamped to maxUnboundedGoroutines()
+	// so a pathological batch size cannot exhaust the scheduler; the
+	// clamp is invisible in BatchResult.Virtual and only bounds physical
+	// concurrency.
 	Workers int
 	// Overhead models the parallel-call overhead the paper attributes to
 	// the simulator's RAO interfacing: a function of the batch size added
@@ -77,24 +83,33 @@ func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (Bat
 	costs := make([]time.Duration, q)
 	evaluated := make([]bool, q)
 
-	workers := p.Workers
-	if workers <= 0 || workers > q {
-		workers = q
+	// ranks is the accounting width (how many members run "at once" in
+	// virtual time); spawn is the number of real goroutines. They differ
+	// only in the unbounded case, where the rank model stays one-per-member
+	// but physical concurrency is clamped.
+	ranks := p.Workers
+	if ranks <= 0 || ranks > q {
+		ranks = q
+	}
+	spawn := ranks
+	if p.Workers <= 0 {
+		if ceil := maxUnboundedGoroutines(); spawn > ceil {
+			spawn = ceil
+		}
 	}
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i, x := range xs {
+	for w := 0; w < spawn; w++ {
 		wg.Add(1)
-		go func(i int, x []float64) {
+		go func(w int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if ctx.Err() != nil {
-				return // cancelled before this member started
+			for i := w; i < q; i += spawn {
+				if ctx.Err() != nil {
+					return // cancelled before this member started
+				}
+				ys[i], costs[i] = ev.Eval(xs[i])
+				evaluated[i] = true
 			}
-			ys[i], costs[i] = ev.Eval(x)
-			evaluated[i] = true
-		}(i, x)
+		}(w)
 	}
 	wg.Wait() // drain: all workers have exited past this point
 	for _, ok := range evaluated {
@@ -109,15 +124,15 @@ func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (Bat
 	// case workers >= q exactly and approximate otherwise by wave packing
 	// in submission order.
 	var virtual time.Duration
-	if workers >= q {
+	if ranks >= q {
 		for _, c := range costs {
 			if c > virtual {
 				virtual = c
 			}
 		}
 	} else {
-		for w := 0; w < q; w += workers {
-			end := w + workers
+		for w := 0; w < q; w += ranks {
+			end := w + ranks
 			if end > q {
 				end = q
 			}
@@ -134,6 +149,16 @@ func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (Bat
 		virtual += p.Overhead(q)
 	}
 	return BatchResult{Y: ys, Virtual: virtual, Real: time.Since(start)}, nil
+}
+
+// maxUnboundedGoroutines is the physical-concurrency ceiling applied when
+// Pool.Workers == 0. Black-box evaluations mostly block on simulated
+// latency rather than CPU, so the ceiling is generous — max(64,
+// 8·GOMAXPROCS) — but finite: a caller handing an unbounded pool a
+// million-member batch gets a million virtual ranks, not a million
+// goroutines.
+func maxUnboundedGoroutines() int {
+	return max(64, 8*runtime.GOMAXPROCS(0))
 }
 
 // ForEach runs fn(i) for every i in [0,n) on at most workers goroutines

@@ -250,3 +250,41 @@ func TestForEachCancelMidRunSerial(t *testing.T) {
 		t.Fatalf("fn ran %d times, want 4 (indices 0..3)", ran)
 	}
 }
+
+// TestEvalBatchUnboundedClampsGoroutines: Workers == 0 means one virtual
+// MPI rank per batch member for accounting, but the number of real
+// goroutines is clamped — a pathological batch must not get a goroutine
+// per member. The evaluator tracks its own high-water concurrency mark.
+func TestEvalBatchUnboundedClampsGoroutines(t *testing.T) {
+	q := 4 * maxUnboundedGoroutines()
+	var inFlight, peak atomic.Int64
+	ev := EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+		cur := inFlight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		defer inFlight.Add(-1)
+		return x[0], time.Duration(int64(x[0])) * time.Millisecond
+	})
+	xs := make([][]float64, q)
+	for i := range xs {
+		xs[i] = []float64{float64(i + 1)}
+	}
+	br := mustEvalBatch(t, &Pool{Workers: 0}, ev, xs)
+	if got := int(peak.Load()); got > maxUnboundedGoroutines() {
+		t.Fatalf("peak concurrency %d exceeds clamp %d", got, maxUnboundedGoroutines())
+	}
+	for i := range xs {
+		if br.Y[i] != float64(i+1) {
+			t.Fatalf("Y[%d] = %v, want %v", i, br.Y[i], float64(i+1))
+		}
+	}
+	// The clamp is invisible in virtual time: unbounded still accounts one
+	// rank per member, so the round costs its single slowest evaluation.
+	if want := time.Duration(q) * time.Millisecond; br.Virtual != want {
+		t.Fatalf("Virtual = %v, want max member cost %v", br.Virtual, want)
+	}
+}

@@ -1,59 +1,87 @@
 #!/bin/sh
 # bench.sh — hot-path benchmark runner and evidence writer.
 #
-# Runs the gp and acq benchmark suites with -benchmem and writes a JSON
-# summary (name, ns/op, B/op, allocs/op per benchmark) for checking in
-# as evidence alongside performance-sensitive changes.
+# Runs two suites with -benchmem and writes JSON summaries (name, ns/op,
+# B/op, allocs/op per benchmark) for checking in as evidence alongside
+# performance-sensitive changes:
+#
+#   hotpath — the steady-state prediction/acquisition benchmarks whose
+#             zero-allocation budgets DESIGN.md §9 pins -> BENCH_hotpath.json
+#   linalg  — the large-n linear-algebra suite (blocked MulInto, Extend,
+#             batched k★ fills, n=4096 prediction) -> BENCH_linalg.json
 #
 # Usage:
-#   ./scripts/bench.sh             # full-accuracy run -> BENCH_hotpath.json
-#   ./scripts/bench.sh -check     # also enforce the alloc budgets below
+#   ./scripts/bench.sh             # full-accuracy run -> both JSON files
+#   ./scripts/bench.sh -check     # also enforce the budgets/floors below
 #
 # Environment:
-#   BENCHTIME   go test -benchtime value (default 2s; use 1x in gates)
-#   OUT         output JSON path (default BENCH_hotpath.json in repo root)
+#   BENCHTIME          hotpath -benchtime value (default 2s; use 100x in gates)
+#   BENCHTIME_LINALG   linalg -benchtime value (default 2s; the gate uses 1x
+#                      because the 1024³ matmuls run ~0.5 s per iteration)
+#   OUT                hotpath JSON path (default BENCH_hotpath.json)
+#   OUT_LINALG         linalg JSON path (default BENCH_linalg.json)
 #
-# Alloc budgets (enforced with -check): the zero-allocation contract of
-# DESIGN.md §9. A regression here means a pooled workspace or
-# destination-passing path started allocating again.
+# Checks (enforced with -check):
+#   - alloc budgets: the zero-allocation contract of DESIGN.md §9. A
+#     regression here means a pooled workspace or destination-passing
+#     path started allocating again.
+#   - linalg floor: BenchmarkMulInto1024 must not exceed 1.10× the naive
+#     ikj reference (BenchmarkMulIntoNaive1024), so the blocked dispatch
+#     can never regress below the loop it replaced.
 set -eu
 
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
+BENCHTIME_LINALG="${BENCHTIME_LINALG:-2s}"
 OUT="${OUT:-BENCH_hotpath.json}"
+OUT_LINALG="${OUT_LINALG:-BENCH_linalg.json}"
 CHECK=0
 if [ "${1:-}" = "-check" ]; then
     CHECK=1
 fi
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+rawlin=$(mktemp)
+trap 'rm -f "$raw" "$rawlin"' EXIT
 
-go test -run '^$' -bench 'Predict|Fantasize|EIEval|EIGrad|QEIBatch' \
+# Anchored names: the LargeN linalg benchmarks also contain "Predict" /
+# "Fantasize" and must not leak into the hotpath suite.
+go test -run '^$' \
+    -bench 'Predict256$|PredictWithGrad256$|PredictJointQ8$|Fantasize256$|EIEval|EIGrad|QEIBatch' \
     -benchmem -benchtime "$BENCHTIME" ./internal/gp/ ./internal/acq/ >"$raw"
 
-awk '
-BEGIN { print "["; first = 1 }
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
-    ns = ""; bytes = ""; allocs = ""
-    for (i = 2; i <= NF; i++) {
-        if ($(i+1) == "ns/op") ns = $i
-        if ($(i+1) == "B/op") bytes = $i
-        if ($(i+1) == "allocs/op") allocs = $i
-    }
-    if (ns == "") next
-    if (!first) print ","
-    first = 0
-    printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
-        name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
-}
-END { print "\n]" }
-' "$raw" >"$OUT"
+go test -run '^$' -bench 'MulInto|Extend1024$|ExtendCols1024$|EvalRowFill' \
+    -benchmem -benchtime "$BENCHTIME_LINALG" ./internal/mat/ ./internal/kernel/ >"$rawlin"
+go test -run '^$' -bench 'LargeN' \
+    -benchmem -benchtime "$BENCHTIME_LINALG" ./internal/gp/ >>"$rawlin"
 
-echo "bench.sh: wrote $OUT"
+tojson() {
+    awk '
+    BEGIN { print "["; first = 1 }
+    /^Benchmark/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
+        ns = ""; bytes = ""; allocs = ""
+        for (i = 2; i <= NF; i++) {
+            if ($(i+1) == "ns/op") ns = $i
+            if ($(i+1) == "B/op") bytes = $i
+            if ($(i+1) == "allocs/op") allocs = $i
+        }
+        if (ns == "") next
+        if (!first) print ","
+        first = 0
+        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+            name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
+    }
+    END { print "\n]" }
+    ' "$1"
+}
+
+tojson "$raw" >"$OUT"
+tojson "$rawlin" >"$OUT_LINALG"
+
+echo "bench.sh: wrote $OUT and $OUT_LINALG"
 
 if [ "$CHECK" = "1" ]; then
     # name:max_allocs_per_op pairs pinned by the hot-path contract.
@@ -71,8 +99,24 @@ if [ "$CHECK" = "1" ]; then
             fail=1
         fi
     done
+
+    # Linalg floor: the blocked dispatch must not run slower than the
+    # naive loop it replaced (allow 10% measurement noise).
+    getns() {
+        awk -v n="$1" '$1 ~ "^"n"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="ns/op") print $i }' "$rawlin"
+    }
+    naive=$(getns BenchmarkMulIntoNaive1024)
+    tiled=$(getns BenchmarkMulInto1024)
+    if [ -z "$naive" ] || [ -z "$tiled" ]; then
+        echo "bench.sh: FAIL: MulInto floor benchmarks did not run" >&2
+        fail=1
+    elif awk -v t="$tiled" -v n="$naive" 'BEGIN { exit !(t > 1.10 * n) }'; then
+        echo "bench.sh: FAIL: MulInto1024 ($tiled ns/op) regressed past 1.10x naive ($naive ns/op)" >&2
+        fail=1
+    fi
+
     if [ "$fail" = "1" ]; then
         exit 1
     fi
-    echo "bench.sh: alloc budgets hold"
+    echo "bench.sh: alloc budgets and linalg floor hold"
 fi

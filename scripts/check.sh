@@ -2,12 +2,15 @@
 # check.sh — the single local/CI verification gate (tier-1+).
 #
 # Runs, in order: formatting, vet, build, the project's own invariant
-# linter (cmd/pbolint), the full test suite under the race detector, the
-# hot-path allocation-regression tests without the race detector (alloc
-# counts are only meaningful uninstrumented), a single-iteration pass
-# over every benchmark so bench code cannot rot uncompiled, and one fast
+# linter (cmd/pbolint), the full test suite under the race detector, a
+# named re-run of the bit-identity property tests for the parallel and
+# blocked linear-algebra paths (still under -race), the hot-path
+# allocation-regression tests without the race detector (alloc counts
+# are only meaningful uninstrumented), a single-iteration pass over
+# every benchmark so bench code cannot rot uncompiled, and one fast
 # bench.sh pass that enforces the zero-allocation budgets of DESIGN.md
-# §9. Any failure stops the gate with a nonzero exit.
+# §9 plus the blocked-MulInto performance floor. Any failure stops the
+# gate with a nonzero exit.
 #
 # Usage: ./scripts/check.sh
 set -eu
@@ -34,15 +37,26 @@ go run ./cmd/pbolint ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== bit-identity property tests under -race"
+# Redundant with the full -race sweep above, but named explicitly so the
+# parallel/blocked linear-algebra contracts cannot be silently dropped
+# from the gate: the blocked MulInto vs ikj reference, the parallel k★
+# fill vs serial, the PredictJoint parallel branch vs serial, the Extend
+# fast-path regression, and the unbounded-pool goroutine clamp.
+go test -race \
+    -run 'TestMulBlocked|TestMulIntoDispatch|TestAnyZero|TestEvalRowAuto|TestPredictJointParallelBitIdentity|TestExtendFreshFactorSkipsTransposeBuild|TestExtendColsMatchesExtend|TestExtendPathsAgree|TestEvalBatchUnboundedClampsGoroutines' \
+    -count 1 ./internal/mat/ ./internal/kernel/ ./internal/gp/ ./internal/parallel/
+
 echo "== alloc-regression tests (no race detector)"
 go test -run 'Alloc' ./internal/mat/ ./internal/kernel/ ./internal/gp/
 
 echo "== benchmarks compile and run once"
 go test -run '^$' -bench . -benchtime 1x ./...
 
-echo "== bench.sh alloc budgets"
+echo "== bench.sh alloc budgets and linalg floor"
 benchjson=$(mktemp)
-BENCHTIME=100x OUT="$benchjson" ./scripts/bench.sh -check
-rm -f "$benchjson"
+benchlinjson=$(mktemp)
+BENCHTIME=100x BENCHTIME_LINALG=1x OUT="$benchjson" OUT_LINALG="$benchlinjson" ./scripts/bench.sh -check
+rm -f "$benchjson" "$benchlinjson"
 
 echo "check.sh: all gates passed"
