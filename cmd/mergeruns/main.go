@@ -11,38 +11,27 @@
 // Each input line must look like:
 //
 //	uphes KB-q-EGO        q=2  rep=0 best=   -330.07 cycles= 97 evals= 226
+//
+// Lines that don't match are tolerated (progress logs interleave with
+// other stderr output), but a file that yields no run line at all is an
+// error: it was almost certainly the wrong file, and summarizing a
+// partial study as if it were complete is how wrong tables get published.
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
+	"strings"
 
 	"repro/internal/stats"
 )
-
-// mustInt and mustFloat convert regexp-matched fields; the pattern
-// guarantees syntax, so a failure means corrupt input worth dying over.
-func mustInt(path, s string) int {
-	v, err := strconv.Atoi(s)
-	if err != nil {
-		log.Fatalf("%s: bad integer %q: %v", path, s, err)
-	}
-	return v
-}
-
-func mustFloat(path, s string) float64 {
-	v, err := strconv.ParseFloat(s, 64)
-	if err != nil {
-		log.Fatalf("%s: bad float %q: %v", path, s, err)
-	}
-	return v
-}
 
 var lineRE = regexp.MustCompile(
 	`^(\S+)\s+(.+?)\s+q=(\d+)\s+rep=(\d+)\s+best=\s*(-?[\d.]+)\s+cycles=\s*(\d+)\s+evals=\s*(\d+)`)
@@ -58,40 +47,96 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("mergeruns: ")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		log.Fatal("usage: mergeruns <log> [log...]")
+	if err := merge(os.Stdout, flag.Args()); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// merge parses every log and writes the merged tables to w.
+func merge(w io.Writer, paths []string) error {
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: mergeruns <log> [log...]")
 	}
 	var runs []run
-	for _, path := range flag.Args() {
+	for _, path := range paths {
 		f, err := os.Open(path)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		sc := bufio.NewScanner(f)
-		for sc.Scan() {
-			m := lineRE.FindStringSubmatch(sc.Text())
-			if m == nil {
-				continue
-			}
-			r := run{problem: m[1], alg: m[2]}
-			r.q = mustInt(path, m[3])
-			r.rep = mustInt(path, m[4])
-			r.best = mustFloat(path, m[5])
-			r.cycles = mustInt(path, m[6])
-			r.evals = mustInt(path, m[7])
-			runs = append(runs, r)
+		parsed, perr := parseLog(path, f)
+		if cerr := f.Close(); perr == nil {
+			perr = cerr
 		}
-		if err := sc.Err(); err != nil {
-			log.Fatalf("%s: %v", path, err)
+		if perr != nil {
+			return perr
 		}
-		if err := f.Close(); err != nil {
-			log.Fatalf("%s: %v", path, err)
+		runs = append(runs, parsed...)
+	}
+	return render(w, runs)
+}
+
+// parseLog extracts the run lines of one progress log. A file without a
+// single run line is reported by name — silently skipping it would merge
+// an incomplete study without a trace.
+func parseLog(path string, r io.Reader) ([]run, error) {
+	var runs []run
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		m := lineRE.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
 		}
+		rec := run{problem: m[1], alg: m[2]}
+		var err error
+		if rec.q, err = parseInt(path, m[3]); err != nil {
+			return nil, err
+		}
+		if rec.rep, err = parseInt(path, m[4]); err != nil {
+			return nil, err
+		}
+		if rec.best, err = parseFloat(path, m[5]); err != nil {
+			return nil, err
+		}
+		if rec.cycles, err = parseInt(path, m[6]); err != nil {
+			return nil, err
+		}
+		if rec.evals, err = parseInt(path, m[7]); err != nil {
+			return nil, err
+		}
+		runs = append(runs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(runs) == 0 {
-		log.Fatal("no run lines found")
+		return nil, fmt.Errorf("%s: no run lines found — not a paperrepro progress log?", path)
 	}
+	return runs, nil
+}
 
+// parseInt and parseFloat convert regexp-matched fields; the pattern
+// guarantees syntax, so a failure means corrupt input worth aborting on.
+func parseInt(path, s string) (int, error) {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad integer %q: %v", path, s, err)
+	}
+	return v, nil
+}
+
+func parseFloat(path, s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("%s: bad float %q: %v", path, s, err)
+	}
+	return v, nil
+}
+
+// render writes the merged Table 7 / Figure 9 summaries.
+func render(w io.Writer, runs []run) error {
+	if len(runs) == 0 {
+		return fmt.Errorf("no run lines found")
+	}
 	type cell struct {
 		alg string
 		q   int
@@ -120,17 +165,18 @@ func main() {
 	}
 	sort.Ints(qs)
 
-	fmt.Println("Table 7 (merged) — final objective statistics per algorithm and batch size")
+	var b strings.Builder
+	b.WriteString("Table 7 (merged) — final objective statistics per algorithm and batch size\n")
 	for _, q := range qs {
-		fmt.Printf("\nn_batch = %d\n", q)
-		fmt.Printf("%-18s %5s %10s %10s %10s %10s\n", "", "runs", "min", "mean", "max", "sd")
+		fmt.Fprintf(&b, "\nn_batch = %d\n", q)
+		fmt.Fprintf(&b, "%-18s %5s %10s %10s %10s %10s\n", "", "runs", "min", "mean", "max", "sd")
 		for _, a := range algs {
 			vals := best[cell{a, q}]
 			if len(vals) == 0 {
 				continue
 			}
 			s := stats.Summarize(vals)
-			fmt.Printf("%-18s %5d %10.0f %10.0f %10.0f %10.0f\n", a, s.N, s.Min, s.Mean, s.Max, s.SD)
+			fmt.Fprintf(&b, "%-18s %5d %10.0f %10.0f %10.0f %10.0f\n", a, s.N, s.Min, s.Mean, s.Max, s.SD)
 		}
 	}
 
@@ -138,24 +184,28 @@ func main() {
 		name string
 		data map[cell][]float64
 	}{{"simulations (Figure 9a)", evals}, {"cycles (Figure 9b)", cycles}} {
-		fmt.Printf("\nNumber of %s per batch size (mean)\n", metric.name)
-		fmt.Printf("%-8s", "n_batch")
+		fmt.Fprintf(&b, "\nNumber of %s per batch size (mean)\n", metric.name)
+		fmt.Fprintf(&b, "%-8s", "n_batch")
 		for _, a := range algs {
-			fmt.Printf(" %-18s", a)
+			fmt.Fprintf(&b, " %-18s", a)
 		}
-		fmt.Println()
+		b.WriteString("\n")
 		for _, q := range qs {
-			fmt.Printf("%-8d", q)
+			fmt.Fprintf(&b, "%-8d", q)
 			for _, a := range algs {
 				vals := metric.data[cell{a, q}]
 				if len(vals) == 0 {
-					fmt.Printf(" %-18s", "-")
+					fmt.Fprintf(&b, " %-18s", "-")
 					continue
 				}
 				s := stats.Summarize(vals)
-				fmt.Printf(" %-18s", fmt.Sprintf("%7.1f / %-6.1f", s.Mean, s.SD))
+				fmt.Fprintf(&b, " %-18s", fmt.Sprintf("%7.1f / %-6.1f", s.Mean, s.SD))
 			}
-			fmt.Println()
+			b.WriteString("\n")
 		}
 	}
+	if _, err := io.WriteString(w, b.String()); err != nil {
+		return err
+	}
+	return nil
 }

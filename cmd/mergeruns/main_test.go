@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestLineRegexp(t *testing.T) {
 	line := "uphes MC-based q-EGO  q=16 rep=2 best=   -663.06 cycles= 10 evals= 104"
@@ -16,5 +20,73 @@ func TestLineRegexp(t *testing.T) {
 	}
 	if lineRE.FindStringSubmatch("random junk") != nil {
 		t.Fatal("junk matched")
+	}
+}
+
+func TestMergeStagedLogs(t *testing.T) {
+	var out strings.Builder
+	err := merge(&out, []string{
+		filepath.Join("testdata", "stage1.log"),
+		filepath.Join("testdata", "stage2.log"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	// Both stages land in one table: q=2 from stage1, q=8 from stage2;
+	// interleaved non-run chatter inside stage1.log is tolerated.
+	for _, want := range []string{"n_batch = 2", "n_batch = 8", "KB-q-EGO", "TuRBO"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("merged output missing %q:\n%s", want, got)
+		}
+	}
+	// Two reps of KB-q-EGO at q=2: its row in the q=2 block counts 2 runs.
+	q2 := got[strings.Index(got, "n_batch = 2"):strings.Index(got, "n_batch = 8")]
+	for _, line := range strings.Split(q2, "\n") {
+		if strings.HasPrefix(line, "KB-q-EGO") && !strings.Contains(line, "    2 ") {
+			t.Errorf("KB-q-EGO q=2 row should count 2 runs: %q", line)
+		}
+	}
+}
+
+// TestMergeRejectsUnparsableFile is the regression test for the silent-
+// skip bug: a file with no run lines used to contribute nothing, so the
+// merge would happily summarize an incomplete study. It must now fail,
+// naming the offending file.
+func TestMergeRejectsUnparsableFile(t *testing.T) {
+	bad := filepath.Join("testdata", "not-a-log.txt")
+	var out strings.Builder
+	err := merge(&out, []string{filepath.Join("testdata", "stage1.log"), bad})
+	if err == nil {
+		t.Fatal("merge accepted a file with no run lines")
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("error does not name the unparsable file: %v", err)
+	}
+}
+
+func TestMergeRejectsMissingFileAndEmptyArgs(t *testing.T) {
+	var out strings.Builder
+	if err := merge(&out, nil); err == nil {
+		t.Error("no arguments accepted")
+	}
+	if err := merge(&out, []string{filepath.Join("testdata", "does-not-exist.log")}); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestParseLogFields(t *testing.T) {
+	in := strings.NewReader("uphes mic-q-EGO  q=16 rep=3 best=  -123.45 cycles= 12 evals= 400\n")
+	runs, err := parseLog("x.log", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 1 {
+		t.Fatalf("parsed %d runs, want 1", len(runs))
+	}
+	r := runs[0]
+	//lint:ignore floatcmp parsed text must convert exactly
+	if r.problem != "uphes" || r.alg != "mic-q-EGO" || r.q != 16 || r.rep != 3 || r.best != -123.45 || r.cycles != 12 || r.evals != 400 {
+		t.Fatalf("parsed %+v", r)
 	}
 }

@@ -1,0 +1,132 @@
+// Command pboserver exposes ask/tell optimization sessions over HTTP.
+//
+// The server owns the expensive, stateful side of Bayesian optimization —
+// surrogate fitting, batch acquisition, virtual-time accounting, and
+// crash-safe snapshots — while evaluation stays with the callers: workers
+// ask for batches, run the simulator wherever they live, and tell the
+// results back, one member at a time if they like.
+//
+// Usage:
+//
+//	pboserver -addr :8080 -snapdir /var/lib/pbo/snapshots
+//
+// On SIGTERM or SIGINT the server drains gracefully: the listener stops
+// accepting, in-flight requests (tells included) finish, and every live
+// session is snapshotted a final time so a restart with -resume picks up
+// exactly where the fleet left off.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/parallel"
+	"repro/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pboserver:", err)
+		os.Exit(1)
+	}
+}
+
+// say writes a best-effort status line. out is the process's stdout (or
+// a test buffer); a failed status write must never stop the server.
+func say(out io.Writer, format string, args ...any) {
+	//lint:ignore errcheck status output is best-effort
+	fmt.Fprintf(out, format, args...)
+}
+
+// run starts the server and blocks until ctx is cancelled (signal) and
+// the graceful drain has finished. Factored out of main so tests can
+// drive a real server — listener, signals, drain — in-process.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("pboserver", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address")
+	snapdir := fs.String("snapdir", "", "snapshot root directory (empty: no persistence)")
+	keep := fs.Int("keep", 0, "snapshots retained per session (0: default 5)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request handling timeout")
+	resume := fs.Bool("resume", false, "resume every persisted session at startup")
+	addrfile := fs.String("addrfile", "", "write the resolved listen address to this file (for :0 listeners)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := &serve.Server{SnapRoot: *snapdir, Keep: *keep, Timeout: *timeout}
+	if *resume {
+		ids, err := srv.ResumeAll()
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		if len(ids) > 0 {
+			say(out, "resumed %d session(s): %s\n", len(ids), strings.Join(ids, ", "))
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()), 0o644); err != nil {
+			return fmt.Errorf("addrfile: %w", err)
+		}
+	}
+	say(out, "pboserver listening on %s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// Two long-lived tasks share the bounded pool: the listener loop and
+	// the signal watcher that triggers the graceful drain. A bare go
+	// statement would do the same job, but all concurrency in this
+	// codebase flows through internal/parallel by construction.
+	// down also wakes the watcher if Serve fails on its own (bad listener,
+	// port stolen) so the pool can never deadlock waiting for a signal.
+	down, markDown := context.WithCancel(ctx)
+	defer markDown()
+	var serveErr, stopErr error
+	if err := parallel.ForEach(context.Background(), 2, 2, func(i int) {
+		switch i {
+		case 0:
+			if err := hs.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				serveErr = err
+			}
+			markDown()
+		case 1:
+			<-down.Done()
+			say(out, "pboserver: shutdown signal; draining\n")
+			grace, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			if err := hs.Shutdown(grace); err != nil {
+				stopErr = fmt.Errorf("shutdown: %w", err)
+				return
+			}
+			if err := srv.Drain(grace); err != nil {
+				stopErr = fmt.Errorf("drain: %w", err)
+				return
+			}
+			say(out, "pboserver: drained; all sessions snapshotted\n")
+		}
+	}); err != nil {
+		return err
+	}
+	if serveErr != nil {
+		return serveErr
+	}
+	return stopErr
+}

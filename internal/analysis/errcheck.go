@@ -10,7 +10,12 @@ import (
 // small allowlist admits calls whose error is documented to always be nil
 // (bytes.Buffer / strings.Builder methods) or meaningless for this
 // codebase (fmt printing to the standard streams from cmd/ binaries).
-// Deferred calls are exempt.
+// Deferred calls are exempt with one pointed exception: `defer f.Close()`
+// and `defer f.Sync()` on an *os.File. On write paths those errors are
+// the write error — the kernel may not surface a failed write until
+// close/fsync — and a snapshot or export that "succeeded" while the close
+// error vanished is exactly the torn-state bug the session subsystem
+// exists to prevent. Close them explicitly and check.
 var ErrCheck = &Analyzer{
 	Name: "errcheck",
 	Doc:  "forbid discarded error returns via bare calls or _ assignment",
@@ -34,10 +39,27 @@ func runErrCheck(p *Pass) {
 				p.Reportf(call.Pos(), "unchecked error returned by %s: handle it, or //lint:ignore errcheck <reason>", calleeName(p, call))
 			case *ast.AssignStmt:
 				checkBlankDiscard(p, st)
+			case *ast.DeferStmt:
+				checkDeferredFileCall(p, st)
 			}
 			return true
 		})
 	}
+}
+
+// checkDeferredFileCall flags `defer f.Close()` / `defer f.Sync()` on an
+// *os.File: the deferred error is silently dropped, and for files being
+// written that error is the last chance to learn a write failed.
+func checkDeferredFileCall(p *Pass, st *ast.DeferStmt) {
+	fn := callee(p, st.Call)
+	if fn == nil || (fn.Name() != "Close" && fn.Name() != "Sync") {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Recv().Type().String() != "*os.File" {
+		return
+	}
+	p.Reportf(st.Pos(), "deferred (*os.File).%s discards its error — on write paths that error is the write failure; close explicitly and check, or //lint:ignore errcheck <reason>", fn.Name())
 }
 
 func checkBlankDiscard(p *Pass, st *ast.AssignStmt) {

@@ -1,12 +1,15 @@
 // Package errcheck is a pbolint fixture: discarded error returns — bare
 // calls and blank assignments — must be reported; handled errors,
-// non-error blanks, deferred calls, the in-memory-writer allowlist and a
-// reasoned suppression stay silent.
+// non-error blanks, most deferred calls, the in-memory-writer allowlist
+// and a reasoned suppression stay silent. Deferred (*os.File).Close and
+// Sync are the exception: on write paths those errors are the write
+// failure, so deferring them unchecked is reported.
 package errcheck
 
 import (
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -41,4 +44,47 @@ func Careful() (string, error) {
 	//lint:ignore errcheck fixture: best-effort cleanup
 	mayFail()
 	return sb.String(), nil
+}
+
+// SloppyWrite defers Close and Sync on a written file — two reports: the
+// deferred errors are the only place a failed write would surface.
+func SloppyWrite(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	defer f.Sync()
+	_, err = f.Write(data)
+	return err
+}
+
+// CarefulWrite syncs and closes explicitly, checking both — silent. The
+// reasoned suppression covers the best-effort cleanup close on the error
+// path, and deferring Close on a type that is not *os.File (the strings
+// fixture reader below) stays exempt.
+func CarefulWrite(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		//lint:ignore errcheck fixture: the write error is already being returned
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// NotAFile defers Close on a non-file type — deferred calls stay exempt.
+func NotAFile() {
+	var c closer
+	defer c.Close()
 }

@@ -430,247 +430,33 @@ func (e *Engine) gpConfig(seed uint64) gp.Config {
 	}
 }
 
-// run carries the mutable state of one Engine.Run invocation through the
-// lifecycle phases. The rng streams are split from the master in a fixed
-// order (design=1, acq=2, jitter=3, fit=4) so traces replay bit-identically
-// across refactors of the phase code.
-type run struct {
-	cfg   Engine
-	clock *Clock
-	st    *State
-	res   *Result
-	hook  CycleHook
-
-	factory ModelFactory
-	model   surrogate.Surrogate
-
-	designStream *rng.Stream
-	acqStream    *rng.Stream
-	jitterStream *rng.Stream
-	fitStream    *rng.Stream
-}
-
-// Run executes the optimization and returns its result. ctx cancels the
-// run: in-flight batch evaluations are drained (never abandoned mid-eval),
-// the run stops within the current cycle, and Run returns the partial
-// Result — consistent History, X, Y and counters covering every completed
-// cycle — together with an error wrapping ErrInterrupted and the context's
-// error. A nil ctx is treated as context.Background().
+// Run executes the optimization and returns its result. Since the ask/tell
+// inversion, Run is a thin closed-loop client of AskTell: Ask for the next
+// batch, evaluate it on the Pool, Tell the results, repeat — the phases,
+// virtual-time accounting and rng stream consumption are bit-identical to
+// the historical monolithic loop (the golden strategy traces pin this).
+//
+// ctx cancels the run: in-flight batch evaluations are drained (never
+// abandoned mid-eval), the run stops within the current cycle, and Run
+// returns the partial Result — consistent History, X, Y and counters
+// covering every completed cycle — together with an error wrapping
+// ErrInterrupted and the context's error. A nil ctx is treated as
+// context.Background().
 func (e *Engine) Run(ctx context.Context) (*Result, error) {
-	cfg := e.defaults()
-	if err := cfg.Problem.validate(); err != nil {
+	at, err := NewAskTell(e)
+	if err != nil {
 		return nil, err
-	}
-	if cfg.Strategy == nil {
-		return nil, errors.New("core: nil strategy")
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	cfg.Strategy.Reset()
-
-	master := rng.New(cfg.Seed, 0)
-	r := &run{
-		cfg:          cfg,
-		clock:        NewClock(cfg.OverheadFactor),
-		st:           &State{Problem: cfg.Problem},
-		hook:         cfg.Hook,
-		factory:      cfg.Factory,
-		designStream: master.Split(1),
-		acqStream:    master.Split(2),
-		jitterStream: master.Split(3),
-		fitStream:    master.Split(4),
-		res: &Result{
-			Problem:  cfg.Problem.Name,
-			Strategy: cfg.Strategy.Name(),
-			Batch:    cfg.BatchSize,
-		},
-	}
-	if r.factory == nil {
-		r.factory = &gpFactory{cfg: e.gpConfig(cfg.Seed), refitEvery: cfg.Model.RefitEvery}
-	}
-
-	if err := r.initialDesign(ctx); err != nil {
-		return r.finish(0), interrupted("initial design", err)
-	}
-
-	cycle := 0
-	for r.clock.Elapsed() < cfg.Budget {
-		if cfg.MaxCycles > 0 && cycle >= cfg.MaxCycles {
-			break
-		}
-		if err := ctx.Err(); err != nil {
-			return r.finish(cycle), interrupted("between cycles", err)
-		}
-		cycle++
-		r.st.Cycle = cycle
-
-		fitVirtual, err := r.fitModel(ctx, cycle)
-		if err != nil {
-			if ctx.Err() != nil {
-				return r.finish(cycle - 1), interrupted("model fit", ctx.Err())
-			}
-			return nil, fmt.Errorf("core: cycle %d fit: %w", cycle, err)
-		}
-
-		batch, acqVirtual, fallback, reason, err := r.acquireBatch(ctx, cycle)
-		if err != nil {
-			return r.finish(cycle - 1), interrupted("acquisition", err)
-		}
-
-		br, err := r.evaluateBatch(ctx, cycle, batch)
-		if err != nil {
-			return r.finish(cycle - 1), interrupted("evaluation", err)
-		}
-
-		r.record(cycle, fitVirtual, acqVirtual, br.Virtual, fallback, reason)
-	}
-	return r.finish(cycle), nil
+	return runAskTell(ctx, at)
 }
 
 // interrupted wraps a phase cancellation so that callers can test both
 // errors.Is(err, ErrInterrupted) and errors.Is(err, ctx.Err()).
 func interrupted(phase string, cause error) error {
 	return fmt.Errorf("%w during %s: %w", ErrInterrupted, phase, cause)
-}
-
-// initialDesign evaluates the Latin-Hypercube design in batch-parallel
-// waves of q. Its time does not count against Budget (Table 2 lists the
-// 20 min as simulation budget, initial sampling separate). On cancellation
-// the completed waves remain observed in the state.
-func (r *run) initialDesign(ctx context.Context) error {
-	cfg := &r.cfg
-	design := rng.ScaleToBounds(
-		rng.LatinHypercube(cfg.InitSamples, cfg.Problem.Dim(), r.designStream),
-		cfg.Problem.Lo, cfg.Problem.Hi)
-	for w := 0; w < len(design); w += cfg.BatchSize {
-		end := min(w+cfg.BatchSize, len(design))
-		br, err := cfg.Pool.EvalBatch(ctx, cfg.Problem.Evaluator, design[w:end])
-		if err != nil {
-			return err
-		}
-		r.st.Observe(design[w:end], br.Y)
-		r.res.InitEvals = len(r.st.Y)
-	}
-	r.hook.OnInitialDesign(r.st, r.res.InitEvals)
-	return nil
-}
-
-// fitModel produces the cycle's surrogate (measured time, charged as
-// FitTime). Self-modeled strategies (ModelProvider) train their own model
-// on a dedicated per-cycle stream; otherwise the ModelFactory — by default
-// the paper's GP with hyperparameters re-optimized every RefitEvery-th
-// cycle — supplies it.
-func (r *run) fitModel(ctx context.Context, cycle int) (time.Duration, error) {
-	fitStart := time.Now()
-	var (
-		model surrogate.Surrogate
-		err   error
-	)
-	if mp, ok := r.cfg.Strategy.(ModelProvider); ok {
-		model, err = mp.FitModel(ctx, r.st, cycle, r.fitStream.Split(uint64(cycle)))
-	} else {
-		model, err = r.factory.Fit(ctx, r.st, cycle)
-	}
-	fitReal := time.Since(fitStart)
-	if err != nil {
-		return 0, err
-	}
-	r.model = model
-	fitVirtual := time.Duration(float64(fitReal) * r.clock.OverheadFactor)
-	r.clock.AddMeasured(fitReal)
-	r.hook.OnFit(cycle, model, fitVirtual)
-	return fitVirtual, nil
-}
-
-// acquireBatch selects the cycle's batch (measured time, charged as
-// AcqTime). Acquisition processes with internal parallelism (BSP-EGO's
-// per-leaf search) are charged measured-time ÷ min(parallel degree, cores),
-// which reproduces the paper's multi-core wall time on any host. A failed
-// or empty proposal falls back to uniform-random candidates — robustness
-// over purity — and the fallback is reported, not swallowed. A non-nil
-// error is returned only for cancellation.
-func (r *run) acquireBatch(ctx context.Context, cycle int) (batch [][]float64, virtual time.Duration, fallback bool, reason string, err error) {
-	cfg := &r.cfg
-	acqStart := time.Now()
-	batch, perr := cfg.Strategy.Propose(ctx, r.model, r.st, cfg.BatchSize, r.acqStream.Split(uint64(cycle)))
-	acqReal := time.Since(acqStart)
-	if cerr := ctx.Err(); cerr != nil {
-		// A proposal cut short by cancellation is not a real batch; do
-		// not fall back to random search on the user's way out.
-		return nil, 0, false, "", cerr
-	}
-	if perr != nil || len(batch) == 0 {
-		fallback = true
-		if perr != nil {
-			reason = perr.Error()
-		} else {
-			reason = "empty batch"
-		}
-		batch = rng.UniformDesign(cfg.BatchSize, cfg.Problem.Lo, cfg.Problem.Hi, r.jitterStream)
-	}
-	batch = dedupeBatch(batch, r.st, r.jitterStream)
-	speedup := cfg.Strategy.APParallelism(cfg.BatchSize)
-	if speedup > cfg.Cores {
-		speedup = cfg.Cores
-	}
-	if speedup < 1 {
-		speedup = 1
-	}
-	acqReal /= time.Duration(speedup)
-	virtual = time.Duration(float64(acqReal) * r.clock.OverheadFactor)
-	r.clock.AddMeasured(acqReal)
-	r.hook.OnAcquire(cycle, batch, fallback, reason, virtual)
-	return batch, virtual, fallback, reason, nil
-}
-
-// evaluateBatch runs the batch through the pool (simulated time) and feeds
-// the observations to the state and the strategy. On cancellation the
-// partially evaluated batch is discarded wholesale so History, X and Y
-// stay consistent.
-func (r *run) evaluateBatch(ctx context.Context, cycle int, batch [][]float64) (parallel.BatchResult, error) {
-	cfg := &r.cfg
-	br, err := cfg.Pool.EvalBatch(ctx, cfg.Problem.Evaluator, batch)
-	if err != nil {
-		return parallel.BatchResult{}, err
-	}
-	r.clock.AddSimulated(br.Virtual)
-	r.st.Observe(batch, br.Y)
-	cfg.Strategy.Observe(r.st, batch, br.Y)
-	r.hook.OnEvaluate(cycle, batch, br.Y, br.Virtual)
-	return br, nil
-}
-
-// record appends the cycle's history record.
-func (r *run) record(cycle int, fitVirtual, acqVirtual, evalVirtual time.Duration, fallback bool, reason string) {
-	if fallback {
-		r.res.Fallbacks++
-	}
-	rec := CycleRecord{
-		Cycle:          cycle,
-		Evals:          len(r.st.Y),
-		BestY:          r.st.BestY,
-		Virtual:        r.clock.Elapsed(),
-		FitTime:        fitVirtual,
-		AcqTime:        acqVirtual,
-		EvalTime:       evalVirtual,
-		Fallback:       fallback,
-		FallbackReason: reason,
-	}
-	r.res.History = append(r.res.History, rec)
-	r.hook.OnRecord(rec)
-}
-
-// finish seals the result with the final incumbent and counters.
-func (r *run) finish(cycles int) *Result {
-	r.res.BestX = r.st.BestX
-	r.res.BestY = r.st.BestY
-	r.res.Cycles = cycles
-	r.res.Evals = len(r.st.Y)
-	r.res.Virtual = r.clock.Elapsed()
-	r.res.X = r.st.X
-	r.res.Y = r.st.Y
-	return r.res
 }
 
 // dedupeBatch nudges candidates that collide with existing observations or

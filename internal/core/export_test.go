@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -55,6 +56,78 @@ func TestResultJSONRoundTrip(t *testing.T) {
 	}
 	if len(back.Y) != 6 || back.Y[3] != 0.04 {
 		t.Fatalf("trace mismatch: %v", back.Y)
+	}
+}
+
+// TestResultJSONRoundTripExact: with whole-second durations (exact in
+// the float-seconds wire encoding) the decoded Result must equal the
+// original field-for-field, History included. Trace floats always
+// round-trip exactly through JSON.
+func TestResultJSONRoundTripExact(t *testing.T) {
+	r := sampleResult()
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadResultJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r, back) {
+		t.Fatalf("round trip not exact:\n in %+v\nout %+v", r, back)
+	}
+}
+
+// TestReadResultJSONWireFormat pins the decode side against a
+// hand-written document: every wire field name, including the omitempty
+// fallback pair, maps onto the right Result field. A renamed JSON tag
+// would pass a round-trip test and still break every archived result on
+// disk; this test is what fails instead.
+func TestReadResultJSONWireFormat(t *testing.T) {
+	doc := `{
+		"problem": "uphes", "strategy": "TuRBO", "batch": 4,
+		"best_x": [0.25, -1.5], "best_y": -330.25,
+		"cycles": 2, "evals": 10, "init_evals": 2, "fallbacks": 1,
+		"virtual_seconds": 90.5,
+		"history": [
+			{"cycle": 1, "evals": 6, "best_y": -400.0, "virtual_seconds": 41.25,
+			 "fit_seconds": 1.5, "acq_seconds": 0.75, "eval_seconds": 39.0,
+			 "fallback": true, "fallback_reason": "acquisition produced no candidates"},
+			{"cycle": 2, "evals": 10, "best_y": -330.25, "virtual_seconds": 90.5,
+			 "fit_seconds": 0.5, "acq_seconds": 0.25, "eval_seconds": 48.5}
+		],
+		"x": [[1, 2], [3, 4]],
+		"y": [-400.0, -330.25]
+	}`
+	r, err := ReadResultJSON(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Result{
+		Problem: "uphes", Strategy: "TuRBO", Batch: 4,
+		BestX: []float64{0.25, -1.5}, BestY: -330.25,
+		Cycles: 2, Evals: 10, InitEvals: 2, Fallbacks: 1,
+		Virtual: 90*time.Second + 500*time.Millisecond,
+		History: []CycleRecord{
+			{Cycle: 1, Evals: 6, BestY: -400,
+				Virtual: 41*time.Second + 250*time.Millisecond,
+				FitTime: 1500 * time.Millisecond, AcqTime: 750 * time.Millisecond,
+				EvalTime: 39 * time.Second,
+				Fallback: true, FallbackReason: "acquisition produced no candidates"},
+			{Cycle: 2, Evals: 10, BestY: -330.25,
+				Virtual: 90*time.Second + 500*time.Millisecond,
+				FitTime: 500 * time.Millisecond, AcqTime: 250 * time.Millisecond,
+				EvalTime: 48*time.Second + 500*time.Millisecond},
+		},
+		X: [][]float64{{1, 2}, {3, 4}},
+		Y: []float64{-400, -330.25},
+	}
+	if !reflect.DeepEqual(r, want) {
+		t.Fatalf("decoded wire document:\ngot  %+v\nwant %+v", r, want)
+	}
+	// Absent omitempty fields decode to their zero values, not garbage.
+	if r.History[1].Fallback || r.History[1].FallbackReason != "" {
+		t.Fatalf("record without fallback fields decoded as %+v", r.History[1])
 	}
 }
 

@@ -57,6 +57,11 @@ type Pool struct {
 type BatchResult struct {
 	// Y holds the objective values aligned with the input batch.
 	Y []float64
+	// Costs holds the per-member simulated latencies aligned with the
+	// input batch. Virtual is derived from them (VirtualDuration); they
+	// are reported so ask/tell clients can forward member-level costs and
+	// have the session recompute the identical batch time.
+	Costs []time.Duration
 	// Virtual is the simulated wall time of the round: the maximum member
 	// latency plus overhead(q).
 	Virtual time.Duration
@@ -118,11 +123,23 @@ func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (Bat
 		}
 	}
 
-	// Batch-synchronous schedule: the round lasts as long as its slowest
-	// member. With fewer workers than batch members, rounds serialize in
-	// ceil(q/workers) waves of the per-wave maximum; we model the common
-	// case workers >= q exactly and approximate otherwise by wave packing
-	// in submission order.
+	return BatchResult{Y: ys, Costs: costs, Virtual: p.VirtualDuration(costs), Real: time.Since(start)}, nil
+}
+
+// VirtualDuration computes the virtual wall time of one batch-synchronous
+// round from the per-member simulated latencies, under this pool's worker
+// configuration: the round lasts as long as its slowest member; with fewer
+// workers than batch members, rounds serialize in ceil(q/workers) waves of
+// the per-wave maximum (wave packing in submission order); the parallel-call
+// overhead term is added last. EvalBatch reports exactly this value, and
+// ask/tell sessions recompute it from told member costs, so closed-loop and
+// inverted runs charge bit-identical evaluation times.
+func (p *Pool) VirtualDuration(costs []time.Duration) time.Duration {
+	q := len(costs)
+	ranks := p.Workers
+	if ranks <= 0 || ranks > q {
+		ranks = q
+	}
 	var virtual time.Duration
 	if ranks >= q {
 		for _, c := range costs {
@@ -148,7 +165,7 @@ func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (Bat
 	if p.Overhead != nil {
 		virtual += p.Overhead(q)
 	}
-	return BatchResult{Y: ys, Virtual: virtual, Real: time.Since(start)}, nil
+	return virtual
 }
 
 // maxUnboundedGoroutines is the physical-concurrency ceiling applied when

@@ -288,3 +288,38 @@ func TestEvalBatchUnboundedClampsGoroutines(t *testing.T) {
 		t.Fatalf("Virtual = %v, want max member cost %v", br.Virtual, want)
 	}
 }
+
+func TestEvalBatchReportsCosts(t *testing.T) {
+	ev := EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+		return x[0], time.Duration(x[0]) * time.Second
+	})
+	p := &Pool{}
+	br := mustEvalBatch(t, p, ev, [][]float64{{2}, {5}, {1}})
+	want := []time.Duration{2 * time.Second, 5 * time.Second, time.Second}
+	for i := range want {
+		if br.Costs[i] != want[i] {
+			t.Fatalf("Costs = %v, want %v", br.Costs, want)
+		}
+	}
+}
+
+// TestVirtualDurationMatchesEvalBatch pins the ask/tell contract: a session
+// recomputing the batch time from told member costs must land on exactly
+// the value EvalBatch reported, for unbounded and wave-packed pools alike.
+func TestVirtualDurationMatchesEvalBatch(t *testing.T) {
+	ev := EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+		return x[0], time.Duration(x[0]*100) * time.Millisecond
+	})
+	xs := [][]float64{{7}, {2}, {9}, {4}, {1}, {6}}
+	for _, p := range []*Pool{
+		{},
+		{Workers: 2},
+		{Workers: 4, Overhead: LinearOverhead(100*time.Millisecond, 50*time.Millisecond)},
+		{Overhead: LinearOverhead(time.Second, 0)},
+	} {
+		br := mustEvalBatch(t, p, ev, xs)
+		if got := p.VirtualDuration(br.Costs); got != br.Virtual {
+			t.Fatalf("%v: VirtualDuration = %v, EvalBatch reported %v", p, got, br.Virtual)
+		}
+	}
+}

@@ -19,6 +19,10 @@ import (
 // experiment can be given statistically independent streams.
 type Stream struct {
 	r *rand.Rand
+	// pcg is the underlying source, retained so the stream state can be
+	// exported and restored (State/Restore). rand.Rand in math/rand/v2
+	// buffers nothing — the PCG state is the entire stream state.
+	pcg *rand.PCG
 }
 
 // New returns a stream for the given master seed and stream index.
@@ -27,7 +31,43 @@ func New(seed, stream uint64) *Stream {
 	// produce correlated PCG states.
 	s0 := mix(seed ^ 0x9e3779b97f4a7c15)
 	s1 := mix(stream ^ 0xbf58476d1ce4e5b9 ^ mix(seed))
-	return &Stream{r: rand.New(rand.NewPCG(s0, s1))}
+	pcg := rand.NewPCG(s0, s1)
+	return &Stream{r: rand.New(pcg), pcg: pcg}
+}
+
+// State exports the stream's exact generator state as an opaque byte
+// blob. Restoring it (Restore, FromState) resumes the stream so that
+// every subsequent draw is identical to what the original stream would
+// have produced — the primitive that makes killed-and-resumed
+// optimization runs replay byte-for-byte.
+func (s *Stream) State() []byte {
+	b, err := s.pcg.MarshalBinary()
+	if err != nil {
+		// rand.PCG documents no failure mode; a non-nil error means the
+		// runtime broke its own contract.
+		panic(fmt.Sprintf("rng: PCG state export failed: %v", err))
+	}
+	return b
+}
+
+// Restore overwrites the stream's generator state with one previously
+// exported by State. The stream then replays exactly the draws the
+// exporting stream would have made next.
+func (s *Stream) Restore(state []byte) error {
+	if err := s.pcg.UnmarshalBinary(state); err != nil {
+		return fmt.Errorf("rng: restore stream state: %w", err)
+	}
+	return nil
+}
+
+// FromState builds a new stream positioned at a previously exported
+// state.
+func FromState(state []byte) (*Stream, error) {
+	s := New(0, 0)
+	if err := s.Restore(state); err != nil {
+		return nil, err
+	}
+	return s, nil
 }
 
 func mix(z uint64) uint64 {

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/core"
+	"repro/internal/session"
+)
+
+// Client drives a pboserver over HTTP. The zero HTTPClient means
+// http.DefaultClient.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient overrides the transport (nil: http.DefaultClient).
+	HTTPClient *http.Client
+}
+
+// ErrNotReady mirrors core.ErrNoBatchReady across the wire: the server
+// has outstanding initial-design batches and cannot hand out more work
+// until their results are told.
+var ErrNotReady = core.ErrNoBatchReady
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// do issues one JSON request; a non-nil out receives the decoded 2xx
+// body. Non-2xx responses decode the server's error body into the
+// returned error.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		raw, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("serve client: %w", err)
+		}
+		body = bytes.NewReader(raw)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("serve client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("serve client: %s %s: %w", method, path, err)
+	}
+	defer func() {
+		//lint:ignore errcheck response body close failures carry no information after a full read
+		_ = resp.Body.Close()
+	}()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return fmt.Errorf("serve client: %s %s: read body: %w", method, path, err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+			return fmt.Errorf("serve client: %s %s: %d: %s", method, path, resp.StatusCode, eb.Error)
+		}
+		return fmt.Errorf("serve client: %s %s: %d: %s", method, path, resp.StatusCode, raw)
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("serve client: %s %s: decode: %w", method, path, err)
+	}
+	return nil
+}
+
+// Create registers a new session and returns its initial status.
+func (c *Client) Create(ctx context.Context, spec SessionSpec) (session.Status, error) {
+	var st session.Status
+	err := c.do(ctx, http.MethodPost, "/v1/sessions", &spec, &st)
+	return st, err
+}
+
+// List returns the live session IDs.
+func (c *Client) List(ctx context.Context) ([]string, error) {
+	var ids []string
+	err := c.do(ctx, http.MethodGet, "/v1/sessions", nil, &ids)
+	return ids, err
+}
+
+// Status fetches a session's progress summary.
+func (c *Client) Status(ctx context.Context, id string) (session.Status, error) {
+	var st session.Status
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id, nil, &st)
+	return st, err
+}
+
+// Ask requests the next batch. done=true reports run completion; a nil
+// batch with ErrNotReady means initial-design results are outstanding.
+func (c *Client) Ask(ctx context.Context, id string) (b *core.Batch, done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/sessions/"+id+"/ask", nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve client: ask %s: %w", id, err)
+	}
+	defer func() {
+		//lint:ignore errcheck response body close failures carry no information after a full read
+		_ = resp.Body.Close()
+	}()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve client: ask %s: %w", id, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		return nil, false, fmt.Errorf("serve client: ask %s: %w", id, ErrNotReady)
+	case resp.StatusCode != http.StatusOK:
+		return nil, false, fmt.Errorf("serve client: ask %s: %d: %s", id, resp.StatusCode, raw)
+	}
+	var ar AskResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		return nil, false, fmt.Errorf("serve client: ask %s: decode: %w", id, err)
+	}
+	return ar.Batch, ar.Done, nil
+}
+
+// Tell submits evaluated members and returns the refreshed status.
+func (c *Client) Tell(ctx context.Context, id string, results []session.EvalResult) (session.Status, error) {
+	var st session.Status
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/tell", &TellRequest{Results: results}, &st)
+	return st, err
+}
+
+// Result fetches the full run result.
+func (c *Client) Result(ctx context.Context, id string) (*core.Result, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/sessions/"+id+"/result", nil)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("serve client: result %s: %w", id, err)
+	}
+	defer func() {
+		//lint:ignore errcheck response body close failures carry no information after a full read
+		_ = resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		raw, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			raw = []byte(rerr.Error())
+		}
+		return nil, fmt.Errorf("serve client: result %s: %d: %s", id, resp.StatusCode, raw)
+	}
+	return core.ReadResultJSON(resp.Body)
+}
+
+// PendingWork fetches the in-flight batches with their receipt masks —
+// the post-resume recovery protocol.
+func (c *Client) PendingWork(ctx context.Context, id string) ([]session.PendingBatch, error) {
+	var pw []session.PendingBatch
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/pending", nil, &pw)
+	return pw, err
+}
+
+// Snapshots lists the session's snapshot file names, oldest first.
+func (c *Client) Snapshots(ctx context.Context, id string) ([]string, error) {
+	var names []string
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/snapshots", nil, &names)
+	return names, err
+}
+
+// Resume brings a persisted session back into the live registry.
+func (c *Client) Resume(ctx context.Context, id string) (session.Status, error) {
+	var st session.Status
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/resume", nil, &st)
+	return st, err
+}

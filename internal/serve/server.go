@@ -1,0 +1,369 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/session"
+	"repro/internal/session/snapshot"
+)
+
+// Server hosts concurrent optimization sessions behind a JSON HTTP API.
+// Sessions serialize their own state transitions (per-session mutex in
+// session.Session); the server only guards the registry map.
+type Server struct {
+	// SnapRoot is the directory holding one snapshot subdirectory per
+	// session; empty disables persistence (sessions live in memory only).
+	SnapRoot string
+	// Keep bounds retained snapshots per session (snapshot.Store.Keep).
+	Keep int
+	// Timeout bounds each request's handling time (default 30s).
+	Timeout time.Duration
+	// Now overrides the sessions' measured-time source (tests).
+	Now func() time.Time
+
+	mu       sync.RWMutex
+	sessions map[string]*entry
+}
+
+type entry struct {
+	spec SessionSpec
+	sess *session.Session
+}
+
+const specFile = "spec.json"
+
+func (s *Server) timeout() time.Duration {
+	if s.Timeout <= 0 {
+		return 30 * time.Second
+	}
+	return s.Timeout
+}
+
+func (s *Server) store(id string) *snapshot.Store {
+	if s.SnapRoot == "" {
+		return nil
+	}
+	return &snapshot.Store{Dir: filepath.Join(s.SnapRoot, id), Keep: s.Keep}
+}
+
+// Create assembles and registers a new session from spec. With
+// persistence enabled the spec itself is written next to the snapshots,
+// which is what makes Resume and ResumeAll possible after a restart.
+func (s *Server) Create(spec SessionSpec) (*session.Session, error) {
+	eng, err := spec.Engine()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[spec.ID]; ok {
+		return nil, fmt.Errorf("serve: session %q: %w", spec.ID, ErrExists)
+	}
+	store := s.store(spec.ID)
+	if store != nil {
+		if err := os.MkdirAll(store.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		raw, err := json.MarshalIndent(&spec, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if err := os.WriteFile(filepath.Join(store.Dir, specFile), raw, 0o644); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+	}
+	sess, err := session.New(session.Config{ID: spec.ID, Engine: eng, Store: store, Now: s.Now})
+	if err != nil {
+		return nil, err
+	}
+	if s.sessions == nil {
+		s.sessions = map[string]*entry{}
+	}
+	s.sessions[spec.ID] = &entry{spec: spec, sess: sess}
+	return sess, nil
+}
+
+// Resume reopens a persisted session from its stored spec and newest
+// valid snapshot. It refuses to run without persistence or to shadow a
+// session already live in the registry.
+func (s *Server) Resume(id string) (*session.Session, error) {
+	if s.SnapRoot == "" {
+		return nil, errors.New("serve: resume needs a snapshot root")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; ok {
+		return nil, fmt.Errorf("serve: session %q is already live", id)
+	}
+	store := s.store(id)
+	raw, err := os.ReadFile(filepath.Join(store.Dir, specFile))
+	if err != nil {
+		return nil, fmt.Errorf("serve: resume %s: %w", id, err)
+	}
+	var spec SessionSpec
+	if err := json.Unmarshal(raw, &spec); err != nil {
+		return nil, fmt.Errorf("serve: resume %s: bad spec: %w", id, err)
+	}
+	if spec.ID != id {
+		return nil, fmt.Errorf("serve: spec in %s names session %q", store.Dir, spec.ID)
+	}
+	eng, err := spec.Engine()
+	if err != nil {
+		return nil, err
+	}
+	sess, err := session.Resume(session.Config{ID: id, Engine: eng, Store: store, Now: s.Now})
+	if err != nil {
+		return nil, err
+	}
+	if s.sessions == nil {
+		s.sessions = map[string]*entry{}
+	}
+	s.sessions[id] = &entry{spec: spec, sess: sess}
+	return sess, nil
+}
+
+// ResumeAll resumes every persisted session found under SnapRoot,
+// returning the IDs brought back. Sessions that fail to resume abort the
+// whole call: a server must not silently come up with half its state.
+func (s *Server) ResumeAll() ([]string, error) {
+	if s.SnapRoot == "" {
+		return nil, nil
+	}
+	entries, err := os.ReadDir(s.SnapRoot)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.SnapRoot, e.Name(), specFile)); err != nil {
+			continue
+		}
+		if _, err := s.Resume(e.Name()); err != nil {
+			return ids, err
+		}
+		ids = append(ids, e.Name())
+	}
+	return ids, nil
+}
+
+func (s *Server) get(id string) (*entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.sessions[id]
+	return e, ok
+}
+
+// IDs returns the live session IDs, sorted.
+func (s *Server) IDs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	ids := make([]string, 0, len(s.sessions))
+	for id := range s.sessions {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Drain forces a final snapshot of every live session — the graceful-
+// shutdown path, called after the HTTP listener has stopped accepting
+// and in-flight requests (tells included) have finished.
+func (s *Server) Drain(ctx context.Context) error {
+	var firstErr error
+	for _, id := range s.IDs() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		e, ok := s.get(id)
+		if !ok {
+			continue
+		}
+		if err := e.sess.Snapshot(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("drain %s: %w", id, err)
+		}
+	}
+	return firstErr
+}
+
+// Handler returns the API's http.Handler with the request timeout
+// applied. Routes:
+//
+//	POST /v1/sessions                  create (body: SessionSpec)
+//	GET  /v1/sessions                  list session IDs
+//	GET  /v1/sessions/{id}             status
+//	POST /v1/sessions/{id}/ask         next batch, or done/not-ready
+//	POST /v1/sessions/{id}/tell        ingest results (body: TellRequest)
+//	GET  /v1/sessions/{id}/result      full core.Result JSON
+//	GET  /v1/sessions/{id}/pending     in-flight batches + receipt masks
+//	GET  /v1/sessions/{id}/snapshots   snapshot file names, oldest first
+//	POST /v1/sessions/{id}/resume      resume a persisted session
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("POST /v1/sessions/{id}/ask", s.handleAsk)
+	mux.HandleFunc("POST /v1/sessions/{id}/tell", s.handleTell)
+	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/sessions/{id}/pending", s.handlePending)
+	mux.HandleFunc("GET /v1/sessions/{id}/snapshots", s.handleSnapshots)
+	mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
+	return http.TimeoutHandler(mux, s.timeout(), `{"error":"request timed out"}`)
+}
+
+// TellRequest is the tell body.
+type TellRequest struct {
+	Results []session.EvalResult `json:"results"`
+}
+
+// AskResponse is the ask body: exactly one of Done, Batch or NotReady is
+// meaningful. NotReady (HTTP 409) signals that initial-design batches are
+// outstanding and the caller should tell results before asking again.
+type AskResponse struct {
+	Done  bool        `json:"done"`
+	Batch *core.Batch `json:"batch,omitempty"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	//lint:ignore errcheck the response is already committed; a failed write has no further destination
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var spec SessionSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad spec: %w", err))
+		return
+	}
+	sess, err := s.Create(spec)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrExists) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Status())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.IDs())
+}
+
+func (s *Server) withSession(w http.ResponseWriter, r *http.Request, fn func(*entry)) {
+	e, ok := s.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown session %q", r.PathValue("id")))
+		return
+	}
+	fn(e)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		writeJSON(w, http.StatusOK, e.sess.Status())
+	})
+}
+
+func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		b, err := e.sess.Ask(r.Context())
+		switch {
+		case errors.Is(err, session.ErrDone):
+			writeJSON(w, http.StatusOK, AskResponse{Done: true})
+		case errors.Is(err, core.ErrNoBatchReady):
+			writeError(w, http.StatusConflict, err)
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err)
+		default:
+			writeJSON(w, http.StatusOK, AskResponse{Batch: b})
+		}
+	})
+}
+
+func (s *Server) handleTell(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		var req TellRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad tell: %w", err))
+			return
+		}
+		if err := e.sess.Tell(r.Context(), req.Results); err != nil {
+			writeError(w, http.StatusConflict, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, e.sess.Status())
+	})
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		//lint:ignore errcheck the response is already committed; a failed write has no further destination
+		e.sess.Result().WriteJSON(w)
+	})
+}
+
+func (s *Server) handlePending(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		writeJSON(w, http.StatusOK, e.sess.PendingWork())
+	})
+}
+
+func (s *Server) handleSnapshots(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		paths, err := e.sess.Snapshots()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		names := make([]string, len(paths))
+		for i, p := range paths {
+			names[i] = filepath.Base(p)
+		}
+		writeJSON(w, http.StatusOK, names)
+	})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.Resume(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+// ErrExists reports a create under an ID that is already live; handlers
+// map it to HTTP 409.
+var ErrExists = errors.New("session already exists")

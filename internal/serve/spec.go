@@ -1,0 +1,148 @@
+// Package serve exposes optimization sessions over HTTP: a JSON API for
+// creating ask/tell sessions, handing out batches, ingesting evaluated
+// results, and inspecting progress, plus a Go client for driving it. The
+// server never evaluates the objective — workers do, wherever they run —
+// it owns the surrogate, the acquisition, the virtual-time accounting and
+// the crash-safe snapshots.
+package serve
+
+import (
+	"fmt"
+	"regexp"
+	"time"
+
+	"repro/internal/benchfunc"
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/strategy"
+	"repro/internal/uphes"
+)
+
+// ProblemSpec names an objective the server knows how to assemble. Two
+// kinds exist: "uphes" (the paper's pumped-hydro scheduling simulator
+// with its default plant and market, Dim = 12) and "benchmark" (one of
+// the paper's synthetic suite by name and dimension).
+type ProblemSpec struct {
+	Kind string `json:"kind"`
+	// Name selects the benchmark function (benchmark kind only).
+	Name string `json:"name,omitempty"`
+	// Dim is the benchmark input dimension (benchmark kind only).
+	Dim int `json:"dim,omitempty"`
+	// SimLatencyNS is the artificial per-simulation cost charged to the
+	// virtual clock (default 10s, the paper's setting).
+	SimLatencyNS int64 `json:"sim_latency_ns,omitempty"`
+}
+
+// ModelSpec mirrors core.ModelConfig for the wire.
+type ModelSpec struct {
+	Restarts     int `json:"restarts,omitempty"`
+	MaxIter      int `json:"max_iter,omitempty"`
+	FitSubsetMax int `json:"fit_subset_max,omitempty"`
+	RefitEvery   int `json:"refit_every,omitempty"`
+}
+
+// SessionSpec is the create-session request body: everything needed to
+// assemble a core.Engine deterministically, so the same spec resumed
+// against the same snapshots replays the same run.
+type SessionSpec struct {
+	// ID names the session; it doubles as the snapshot directory name and
+	// must match [A-Za-z0-9._-]+.
+	ID      string      `json:"id"`
+	Problem ProblemSpec `json:"problem"`
+	// Strategy is a registry name (strategy.Names or ExtendedNames).
+	Strategy string `json:"strategy"`
+	// BatchSize, InitSamples, MaxCycles, Seed and OverheadFactor map
+	// directly onto the engine; zero values select engine defaults.
+	BatchSize      int       `json:"batch_size,omitempty"`
+	InitSamples    int       `json:"init_samples,omitempty"`
+	MaxCycles      int       `json:"max_cycles,omitempty"`
+	BudgetNS       int64     `json:"budget_ns,omitempty"`
+	OverheadFactor float64   `json:"overhead_factor,omitempty"`
+	Workers        int       `json:"workers,omitempty"`
+	Seed           uint64    `json:"seed"`
+	Model          ModelSpec `json:"model,omitempty"`
+}
+
+var idPattern = regexp.MustCompile(`^[A-Za-z0-9._-]+$`)
+
+// Validate checks the parts of the spec the server depends on before the
+// engine's own validation runs (the ID becomes a directory name, so it is
+// held to a strict charset).
+func (s *SessionSpec) Validate() error {
+	if !idPattern.MatchString(s.ID) {
+		return fmt.Errorf("serve: session id %q must match %s", s.ID, idPattern)
+	}
+	if s.Strategy == "" {
+		return fmt.Errorf("serve: session %s: empty strategy", s.ID)
+	}
+	switch s.Problem.Kind {
+	case "uphes", "benchmark":
+	default:
+		return fmt.Errorf("serve: session %s: unknown problem kind %q", s.ID, s.Problem.Kind)
+	}
+	return nil
+}
+
+// Engine assembles a fresh core.Engine from the spec. Each call returns
+// an independent engine (fresh strategy instance, fresh evaluator) so
+// create and resume never share mutable state.
+func (s *SessionSpec) Engine() (*core.Engine, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	strat, err := strategy.ByName(s.Strategy)
+	if err != nil {
+		return nil, fmt.Errorf("serve: session %s: %w", s.ID, err)
+	}
+	problem, err := s.Problem.build()
+	if err != nil {
+		return nil, fmt.Errorf("serve: session %s: %w", s.ID, err)
+	}
+	return &core.Engine{
+		Problem:        problem,
+		Strategy:       strat,
+		BatchSize:      s.BatchSize,
+		InitSamples:    s.InitSamples,
+		MaxCycles:      s.MaxCycles,
+		Budget:         time.Duration(s.BudgetNS),
+		OverheadFactor: s.OverheadFactor,
+		Pool:           &parallel.Pool{Workers: s.Workers},
+		Model: core.ModelConfig{
+			Restarts:     s.Model.Restarts,
+			MaxIter:      s.Model.MaxIter,
+			FitSubsetMax: s.Model.FitSubsetMax,
+			RefitEvery:   s.Model.RefitEvery,
+		},
+		Seed: s.Seed,
+	}, nil
+}
+
+func (p *ProblemSpec) simLatency() time.Duration {
+	if p.SimLatencyNS <= 0 {
+		return 10 * time.Second
+	}
+	return time.Duration(p.SimLatencyNS)
+}
+
+func (p *ProblemSpec) build() (*core.Problem, error) {
+	switch p.Kind {
+	case "uphes":
+		cfg := uphes.DefaultConfig()
+		cfg.SimLatency = p.simLatency()
+		sim, err := uphes.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		lo, hi := cfg.Bounds()
+		return &core.Problem{Name: "uphes", Lo: lo, Hi: hi, Minimize: false, Evaluator: sim}, nil
+	case "benchmark":
+		f, err := benchfunc.ByName(p.Name, p.Dim)
+		if err != nil {
+			return nil, err
+		}
+		ev := parallel.FixedCost(f.Eval, p.simLatency())
+		return &core.Problem{Name: f.Name, Lo: f.Lo, Hi: f.Hi, Minimize: true, Evaluator: ev}, nil
+	default:
+		return nil, fmt.Errorf("unknown problem kind %q", p.Kind)
+	}
+}

@@ -1,0 +1,379 @@
+// Package session exposes an optimization run as a long-lived ask/tell
+// service unit: a Session wraps core.AskTell with member-level result
+// ingestion (a batch's evaluations may arrive one at a time, from
+// different workers, in any order), a mutex so concurrent callers — HTTP
+// handlers, worker pools — can share it, and automatic crash-safe
+// checkpointing through a snapshot.Store after every state-changing
+// operation. A killed process resumes from the newest valid snapshot and
+// replays the uninterrupted run bit-for-bit.
+package session
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/session/snapshot"
+)
+
+// ErrDone re-exports core's completion sentinel for callers that only
+// import session.
+var ErrDone = core.ErrDone
+
+// Config assembles a session.
+type Config struct {
+	// ID names the session (snapshot payloads echo it; Resume verifies it).
+	ID string
+	// Engine is the full optimization configuration. The engine's
+	// Evaluator is never called by the session — evaluation is the
+	// caller's job — but must be non-nil to satisfy engine validation and
+	// because its Pool models the virtual time told results are charged.
+	Engine *core.Engine
+	// Store persists snapshots; nil disables persistence (ask/tell only).
+	Store *snapshot.Store
+	// Now overrides the measured-time source for fit/acquisition timing
+	// (default time.Now). Tests inject a deterministic clock.
+	Now func() time.Time
+}
+
+// EvalResult is one evaluated batch member.
+type EvalResult struct {
+	// BatchID identifies the batch the member belongs to.
+	BatchID int `json:"batch_id"`
+	// Member is the index of the point within the batch.
+	Member int `json:"member"`
+	// Y is the objective value.
+	Y float64 `json:"y"`
+	// CostNS is the simulated evaluation latency in nanoseconds.
+	CostNS int64 `json:"cost_ns"`
+}
+
+// PendingStatus describes one in-flight batch.
+type PendingStatus struct {
+	BatchID  int `json:"batch_id"`
+	Cycle    int `json:"cycle"`
+	Size     int `json:"size"`
+	Received int `json:"received"`
+}
+
+// Status is a point-in-time summary of a session.
+type Status struct {
+	ID        string          `json:"id"`
+	Problem   string          `json:"problem"`
+	Strategy  string          `json:"strategy"`
+	Done      bool            `json:"done"`
+	Cycles    int             `json:"cycles"`
+	Evals     int             `json:"evals"`
+	InitEvals int             `json:"init_evals"`
+	BestY     float64         `json:"best_y"`
+	HaveBest  bool            `json:"have_best"`
+	VirtualNS int64           `json:"virtual_ns"`
+	Pending   []PendingStatus `json:"pending,omitempty"`
+}
+
+// partial accumulates member results for one in-flight batch.
+type partial struct {
+	batch core.Batch
+	ys    []float64
+	costs []time.Duration
+	got   []bool
+	n     int
+}
+
+// Session is a concurrent-safe ask/tell optimization run.
+type Session struct {
+	mu    sync.Mutex
+	id    string
+	at    *core.AskTell
+	store *snapshot.Store
+
+	partials map[int]*partial
+	order    []int
+}
+
+// payload is the snapshot schema: the engine checkpoint plus the
+// member-level partial-tell ledger (the engine ledger holds the batches
+// themselves; only the received members need extra state).
+type payload struct {
+	ID         string            `json:"id"`
+	Checkpoint *core.Checkpoint  `json:"checkpoint"`
+	Partials   []partialSnapshot `json:"partials,omitempty"`
+}
+
+type partialSnapshot struct {
+	BatchID int       `json:"batch_id"`
+	Ys      []float64 `json:"ys"`
+	CostsNS []int64   `json:"costs_ns"`
+	Got     []bool    `json:"got"`
+}
+
+// New opens a fresh session. If a Store is configured, the initial state
+// is snapshotted immediately so a crash before the first ask still leaves
+// a resumable run.
+func New(cfg Config) (*Session, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("session: empty id")
+	}
+	at, err := core.NewAskTell(cfg.Engine)
+	if err != nil {
+		return nil, err
+	}
+	at.SetNow(cfg.Now)
+	s := &Session{id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}}
+	if err := s.snapshotLocked(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Resume reopens a session from the newest valid snapshot in cfg.Store.
+// The engine configuration must match the one that produced the snapshot
+// (problem, strategy, batch size, seed — verified by the core resume) and
+// the snapshot's session ID must match cfg.ID.
+func Resume(cfg Config) (*Session, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("session: resume needs a snapshot store")
+	}
+	var p payload
+	path, err := cfg.Store.LoadLatest(&p)
+	if err != nil {
+		return nil, err
+	}
+	if p.ID != cfg.ID {
+		return nil, fmt.Errorf("session: snapshot %s belongs to session %q, not %q", path, p.ID, cfg.ID)
+	}
+	at, err := core.ResumeAskTell(cfg.Engine, p.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("session: %s: %w", path, err)
+	}
+	at.SetNow(cfg.Now)
+	s := &Session{id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}}
+
+	pending := at.Pending()
+	byID := map[int]core.Batch{}
+	for _, b := range pending {
+		byID[b.ID] = b
+	}
+	for _, ps := range p.Partials {
+		b, ok := byID[ps.BatchID]
+		if !ok {
+			return nil, fmt.Errorf("session: %s: partial results for unknown batch %d", path, ps.BatchID)
+		}
+		n := len(b.Points)
+		if len(ps.Ys) != n || len(ps.CostsNS) != n || len(ps.Got) != n {
+			return nil, fmt.Errorf("session: %s: partial ledger for batch %d malformed", path, ps.BatchID)
+		}
+		pt := &partial{batch: b, ys: ps.Ys, costs: make([]time.Duration, n), got: ps.Got}
+		for i, c := range ps.CostsNS {
+			pt.costs[i] = time.Duration(c)
+			if ps.Got[i] {
+				pt.n++
+			}
+		}
+		s.partials[b.ID] = pt
+		s.order = append(s.order, b.ID)
+	}
+	return s, nil
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Ask returns the next batch to evaluate. It forwards core.AskTell's
+// contract — ErrDone on completion, core.ErrNoBatchReady while the
+// initial design is outstanding — and snapshots the advanced state before
+// releasing the batch, so a crash after the caller receives it still
+// resumes with the batch in the pending ledger.
+func (s *Session) Ask(ctx context.Context) (*core.Batch, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, err := s.at.Ask(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.partials[b.ID] = &partial{
+		batch: *b,
+		ys:    make([]float64, len(b.Points)),
+		costs: make([]time.Duration, len(b.Points)),
+		got:   make([]bool, len(b.Points)),
+	}
+	s.order = append(s.order, b.ID)
+	if err := s.snapshotLocked(); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// Tell ingests evaluated members, in any order and any grouping; a batch
+// is forwarded to the engine exactly when its last member arrives.
+// Completed engine transitions are snapshotted. On a validation error
+// (unknown batch, out-of-range member, duplicate member) the session
+// state is unchanged.
+func (s *Session) Tell(ctx context.Context, results []EvalResult) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Validate the whole group first: a Tell is all-or-nothing.
+	staged := map[int]map[int]bool{}
+	for _, r := range results {
+		p, ok := s.partials[r.BatchID]
+		if !ok {
+			return fmt.Errorf("session: tell for unknown or completed batch %d", r.BatchID)
+		}
+		if r.Member < 0 || r.Member >= len(p.batch.Points) {
+			return fmt.Errorf("session: batch %d has no member %d", r.BatchID, r.Member)
+		}
+		if p.got[r.Member] || staged[r.BatchID][r.Member] {
+			return fmt.Errorf("session: duplicate result for batch %d member %d", r.BatchID, r.Member)
+		}
+		if r.CostNS < 0 {
+			return fmt.Errorf("session: negative cost for batch %d member %d", r.BatchID, r.Member)
+		}
+		if staged[r.BatchID] == nil {
+			staged[r.BatchID] = map[int]bool{}
+		}
+		staged[r.BatchID][r.Member] = true
+	}
+
+	for _, r := range results {
+		p := s.partials[r.BatchID]
+		p.ys[r.Member] = r.Y
+		p.costs[r.Member] = time.Duration(r.CostNS)
+		p.got[r.Member] = true
+		p.n++
+	}
+
+	// Forward every batch that just completed, in ask order — the order
+	// the closed loop would have told them, keeping sequential drivers
+	// bit-identical to Engine.Run.
+	remaining := s.order[:0]
+	for _, id := range s.order {
+		p := s.partials[id]
+		if p.n == len(p.batch.Points) {
+			if err := s.at.Tell(id, p.ys, p.costs); err != nil {
+				return err
+			}
+			delete(s.partials, id)
+			continue
+		}
+		remaining = append(remaining, id)
+	}
+	s.order = remaining
+	return s.snapshotLocked()
+}
+
+// Status reports the session's current progress.
+func (s *Session) Status() Status {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.at.Result()
+	st := Status{
+		ID:        s.id,
+		Problem:   res.Problem,
+		Strategy:  res.Strategy,
+		Done:      s.at.Done(),
+		Cycles:    res.Cycles,
+		Evals:     res.Evals,
+		InitEvals: res.InitEvals,
+		BestY:     res.BestY,
+		HaveBest:  res.BestX != nil,
+		VirtualNS: int64(s.at.Elapsed()),
+	}
+	for _, id := range s.order {
+		p := s.partials[id]
+		st.Pending = append(st.Pending, PendingStatus{
+			BatchID:  id,
+			Cycle:    p.batch.Cycle,
+			Size:     len(p.batch.Points),
+			Received: p.n,
+		})
+	}
+	return st
+}
+
+// PendingBatch is an in-flight batch together with the member-level
+// receipt mask — everything a worker pool needs to pick up (or, after a
+// crash that lost results in flight, re-evaluate) outstanding work.
+type PendingBatch struct {
+	Batch core.Batch `json:"batch"`
+	// Received marks the members whose results have already been told.
+	Received []bool `json:"received"`
+}
+
+// PendingWork returns the in-flight batches in ask order, with their
+// points and receipt masks. After Resume, callers should evaluate and
+// tell every unreceived member before asking for new work.
+func (s *Session) PendingWork() []PendingBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]PendingBatch, 0, len(s.order))
+	for _, id := range s.order {
+		p := s.partials[id]
+		out = append(out, PendingBatch{Batch: p.batch, Received: append([]bool(nil), p.got...)})
+	}
+	return out
+}
+
+// Done reports whether the run is complete.
+func (s *Session) Done() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.at.Done()
+}
+
+// Result returns the run result accumulated so far.
+func (s *Session) Result() *core.Result {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.at.Result()
+}
+
+// Snapshot forces a snapshot now (no-op without a store). The server's
+// graceful-shutdown path calls it after draining in-flight tells.
+func (s *Session) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.snapshotLocked()
+}
+
+// Snapshots lists the snapshot files of this session, oldest first.
+func (s *Session) Snapshots() ([]string, error) {
+	if s.store == nil {
+		return nil, nil
+	}
+	return s.store.List()
+}
+
+func (s *Session) snapshotLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	cp, err := s.at.Checkpoint()
+	if err != nil {
+		return fmt.Errorf("session: %w", err)
+	}
+	p := payload{ID: s.id, Checkpoint: cp}
+	for _, id := range s.order {
+		pt := s.partials[id]
+		costs := make([]int64, len(pt.costs))
+		for i, c := range pt.costs {
+			costs[i] = int64(c)
+		}
+		p.Partials = append(p.Partials, partialSnapshot{
+			BatchID: id,
+			Ys:      pt.ys,
+			CostsNS: costs,
+			Got:     pt.got,
+		})
+	}
+	if _, err := s.store.Save(&p); err != nil {
+		return fmt.Errorf("session: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/session/snapshot"
+	"repro/internal/strategy"
+)
+
+// detNow is a deterministic measured-time source (1ms per call), making
+// whole Results — including History — comparable across runs.
+func detNow() func() time.Time {
+	t0 := time.Unix(0, 0)
+	n := 0
+	return func() time.Time {
+		n++
+		return t0.Add(time.Duration(n) * time.Millisecond)
+	}
+}
+
+func testEngine(t *testing.T, strat string) *core.Engine {
+	t.Helper()
+	s, err := strategy.ByName(strat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &core.Engine{
+		Problem: &core.Problem{
+			Name: "sphere", Lo: []float64{-3, -3}, Hi: []float64{3, 3}, Minimize: true,
+			Evaluator: parallel.FixedCost(func(x []float64) float64 {
+				return x[0]*x[0] + x[1]*x[1]
+			}, 10*time.Second),
+		},
+		Strategy:       s,
+		BatchSize:      2,
+		InitSamples:    6,
+		MaxCycles:      3,
+		Budget:         time.Hour,
+		OverheadFactor: 1,
+		Model:          core.ModelConfig{Restarts: 1, MaxIter: 10, FitSubsetMax: 48},
+		Pool:           &parallel.Pool{Overhead: parallel.LinearOverhead(100*time.Millisecond, 50*time.Millisecond)},
+		Seed:           7,
+	}
+}
+
+// evalMembers evaluates a batch member-by-member through the engine's
+// evaluator, the way external workers would.
+func evalMembers(e *core.Engine, b *core.Batch) []EvalResult {
+	out := make([]EvalResult, len(b.Points))
+	for i, x := range b.Points {
+		y, cost := e.Problem.Evaluator.Eval(x)
+		out[i] = EvalResult{BatchID: b.ID, Member: i, Y: y, CostNS: int64(cost)}
+	}
+	return out
+}
+
+// driveToDone completes the session sequentially, telling each batch's
+// members one at a time in reverse order — exercising partial tells on
+// every batch.
+func driveToDone(t *testing.T, e *core.Engine, s *Session) *core.Result {
+	t.Helper()
+	ctx := context.Background()
+	for {
+		b, err := s.Ask(ctx)
+		if errors.Is(err, ErrDone) {
+			return s.Result()
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := evalMembers(e, b)
+		for i := len(results) - 1; i >= 0; i-- {
+			if err := s.Tell(ctx, []EvalResult{results[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSessionCompletesLikeEngineRun(t *testing.T) {
+	ref, err := testEngine(t, "KB-q-EGO").Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := testEngine(t, "KB-q-EGO")
+	s, err := New(Config{ID: "s1", Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := driveToDone(t, e, s)
+	if !reflect.DeepEqual(ref.X, got.X) || !reflect.DeepEqual(ref.Y, got.Y) {
+		t.Fatal("session-driven trace diverged from Engine.Run")
+	}
+	st := s.Status()
+	if !st.Done || st.Cycles != 3 || len(st.Pending) != 0 {
+		t.Fatalf("final status %+v", st)
+	}
+}
+
+// TestSessionKillAndResume is the subsystem's central guarantee: kill a
+// session mid-cycle — after an ask, with only part of the batch told —
+// resume from the newest snapshot on disk, finish, and the final Result
+// (X, Y, incumbent, counters, full cycle records) is bit-identical to the
+// never-interrupted reference. Run for a stateless strategy, the
+// trust-region strategy and the partition-tree strategy.
+func TestSessionKillAndResume(t *testing.T) {
+	for _, strat := range []string{"KB-q-EGO", "TuRBO", "BSP-EGO"} {
+		strat := strat
+		t.Run(strat, func(t *testing.T) {
+			refEngine := testEngine(t, strat)
+			refSess, err := New(Config{ID: "ref", Engine: refEngine, Now: detNow()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref := driveToDone(t, refEngine, refSess)
+
+			dir := filepath.Join(t.TempDir(), "snaps")
+			store := &snapshot.Store{Dir: dir}
+			e1 := testEngine(t, strat)
+			s1, err := New(Config{ID: "run", Engine: e1, Store: store, Now: detNow()})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Drive through the design and one full cycle, then ask the
+			// cycle-2 batch and tell only its first member before "dying".
+			ctx := context.Background()
+			tells := 0
+			for tells < 4 {
+				b, err := s1.Ask(ctx)
+				if err != nil {
+					t.Fatal(err)
+				}
+				results := evalMembers(e1, b)
+				for i := len(results) - 1; i >= 0; i-- {
+					if err := s1.Tell(ctx, []EvalResult{results[i]}); err != nil {
+						t.Fatal(err)
+					}
+				}
+				tells++
+			}
+			b, err := s1.Ask(ctx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			partial := evalMembers(e1, b)[:1]
+			if err := s1.Tell(ctx, partial); err != nil {
+				t.Fatal(err)
+			}
+			// The process dies here: s1 is abandoned without cleanup.
+
+			e2 := testEngine(t, strat)
+			s2, err := Resume(Config{ID: "run", Engine: e2, Store: store, Now: detNow()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := s2.Status()
+			if len(st.Pending) != 1 || st.Pending[0].Received != 1 {
+				t.Fatalf("resumed pending ledger %+v, want one batch with one received member", st.Pending)
+			}
+			// Tell the missing members of the in-flight batch, then finish.
+			drainPending(t, e2, s2)
+			got := driveToDone(t, e2, s2)
+
+			if !reflect.DeepEqual(ref, got) {
+				t.Fatalf("kill-and-resume diverged from uninterrupted run:\nref %+v\ngot %+v", ref, got)
+			}
+		})
+	}
+}
+
+// TestSessionResumeSurvivesCorruptNewestSnapshot: a torn write of the
+// newest snapshot must not strand the session — resume falls back to the
+// previous one, re-asks the lost batch and still converges to the
+// identical result.
+func TestSessionResumeSurvivesCorruptNewestSnapshot(t *testing.T) {
+	refEngine := testEngine(t, "KB-q-EGO")
+	refSess, err := New(Config{ID: "ref", Engine: refEngine, Now: detNow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := driveToDone(t, refEngine, refSess)
+
+	store := &snapshot.Store{Dir: t.TempDir(), Keep: 10}
+	e1 := testEngine(t, "KB-q-EGO")
+	s1, err := New(Config{ID: "run", Engine: e1, Store: store, Now: detNow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		b, err := s1.Ask(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s1.Tell(ctx, evalMembers(e1, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := store.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptFile(t, paths[len(paths)-1])
+
+	e2 := testEngine(t, "KB-q-EGO")
+	s2, err := Resume(Config{ID: "run", Engine: e2, Store: store, Now: detNow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fallback snapshot may predate the lost tell: the in-flight
+	// batch is back in the ledger and must be re-evaluated first.
+	drainPending(t, e2, s2)
+	got := driveToDone(t, e2, s2)
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("resume from fallback snapshot diverged")
+	}
+}
+
+// drainPending re-evaluates and tells every unreceived member of the
+// session's in-flight batches — the post-resume recovery protocol.
+func drainPending(t *testing.T, e *core.Engine, s *Session) {
+	t.Helper()
+	ctx := context.Background()
+	for _, pw := range s.PendingWork() {
+		var results []EvalResult
+		for m, x := range pw.Batch.Points {
+			if pw.Received[m] {
+				continue
+			}
+			y, cost := e.Problem.Evaluator.Eval(x)
+			results = append(results, EvalResult{BatchID: pw.Batch.ID, Member: m, Y: y, CostNS: int64(cost)})
+		}
+		if len(results) > 0 {
+			if err := s.Tell(ctx, results); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestSessionTellValidation(t *testing.T) {
+	e := testEngine(t, "KB-q-EGO")
+	s, err := New(Config{ID: "v", Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	b, err := s.Ask(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := []struct {
+		name string
+		res  []EvalResult
+	}{
+		{"unknown batch", []EvalResult{{BatchID: b.ID + 99, Member: 0}}},
+		{"member out of range", []EvalResult{{BatchID: b.ID, Member: len(b.Points)}}},
+		{"negative member", []EvalResult{{BatchID: b.ID, Member: -1}}},
+		{"negative cost", []EvalResult{{BatchID: b.ID, Member: 0, CostNS: -1}}},
+		{"duplicate in group", []EvalResult{{BatchID: b.ID, Member: 0}, {BatchID: b.ID, Member: 0}}},
+	}
+	for _, tc := range bad {
+		if err := s.Tell(ctx, tc.res); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+	// Validation failures must not have staged anything: member 0 is
+	// still tellable exactly once.
+	if err := s.Tell(ctx, []EvalResult{{BatchID: b.ID, Member: 0, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tell(ctx, []EvalResult{{BatchID: b.ID, Member: 0, Y: 1}}); err == nil {
+		t.Error("duplicate across calls accepted")
+	}
+}
+
+func TestSessionResumeRejectsWrongID(t *testing.T) {
+	store := &snapshot.Store{Dir: t.TempDir()}
+	e := testEngine(t, "KB-q-EGO")
+	if _, err := New(Config{ID: "alpha", Engine: e, Store: store}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Resume(Config{ID: "beta", Engine: testEngine(t, "KB-q-EGO"), Store: store}); err == nil {
+		t.Fatal("resume under a different id accepted")
+	}
+	if _, err := Resume(Config{ID: "alpha", Engine: testEngine(t, "KB-q-EGO")}); err == nil {
+		t.Fatal("resume without a store accepted")
+	}
+}
+
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

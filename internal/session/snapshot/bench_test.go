@@ -1,0 +1,104 @@
+package snapshot
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+// benchCheckpoint builds a checkpoint of realistic shape at n=1024 history:
+// 1024 recorded cycles over an 8-dimensional problem with batch size 4 —
+// the trace a long UPHES serving session accumulates. The snapshot codec
+// benchmarks pin encode/decode cost and frame size at this scale.
+func benchCheckpoint() *core.Checkpoint {
+	const (
+		n     = 1024
+		d     = 8
+		batch = 4
+		init  = 64
+	)
+	stream := rng.New(123, 7)
+	lo := make([]float64, d)
+	hi := make([]float64, d)
+	for j := range lo {
+		lo[j], hi[j] = -5, 5
+	}
+	evals := init + n*batch
+	x := make([][]float64, evals)
+	y := make([]float64, evals)
+	for i := range x {
+		x[i] = stream.UniformVec(lo, hi)
+		y[i] = stream.Norm()
+	}
+	hist := make([]core.CycleRecord, n)
+	for i := range hist {
+		hist[i] = core.CycleRecord{
+			Cycle:    i + 1,
+			Evals:    init + (i+1)*batch,
+			BestY:    stream.Norm(),
+			Virtual:  time.Duration(i+1) * 41 * time.Second,
+			FitTime:  600 * time.Millisecond,
+			AcqTime:  400 * time.Millisecond,
+			EvalTime: 40 * time.Second,
+		}
+	}
+	return &core.Checkpoint{
+		Problem:  "uphes",
+		Strategy: "KB-q-EGO",
+		Batch:    batch,
+		Seed:     11,
+		ClockNS:  int64(n) * 41_000_000_000,
+		Cycle:    n,
+		Recorded: n,
+
+		Design:      x[:init],
+		DesignAsked: init,
+		DesignTold:  init,
+
+		X:         x,
+		Y:         y,
+		BestX:     x[evals-1],
+		BestY:     y[evals-1],
+		HaveBest:  true,
+		InitEvals: init,
+		History:   hist,
+
+		DesignStream: rng.New(1, 1).State(),
+		AcqStream:    rng.New(2, 2).State(),
+		JitterStream: rng.New(3, 3).State(),
+		FitStream:    rng.New(4, 4).State(),
+		NextID:       n + init/batch,
+	}
+}
+
+func BenchmarkSnapshotEncode1024(b *testing.B) {
+	cp := benchCheckpoint()
+	frame, err := Encode(cp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(frame)), "frame-bytes")
+}
+
+func BenchmarkSnapshotDecode1024(b *testing.B) {
+	frame, err := Encode(benchCheckpoint())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var cp core.Checkpoint
+		if err := Decode(frame, &cp); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(frame)), "frame-bytes")
+}

@@ -1,0 +1,247 @@
+// Package snapshot persists session checkpoints crash-safely. A snapshot
+// file is a self-describing frame — fixed magic, format version, payload
+// length and CRC32 ahead of a JSON payload — written atomically (temp
+// file, fsync, rename, directory sync) so a crash mid-write can never
+// leave a file that both exists under a snapshot name and decodes. The
+// store keeps the newest K snapshots and, on load, falls back past
+// corrupt or truncated files to the newest one that still verifies.
+package snapshot
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Version is the current snapshot format version. Decode accepts exactly
+// the versions it knows how to parse; a payload written by a newer code
+// version fails loudly rather than being misread. The version covers the
+// frame layout and the payload schema together: any change to either —
+// new required field, changed field meaning, different checksum — must
+// bump it and teach Decode the old layouts it still supports.
+const Version = 1
+
+// magic identifies snapshot files; the trailing NUL guards against text
+// files that merely start with the same letters.
+const magic = "PBOSNAP\x00"
+
+// header is magic(8) + version(u32) + payload length(u64) + CRC32(u32),
+// all big-endian.
+const headerSize = 8 + 4 + 8 + 4
+
+// ErrCorrupt reports a frame that failed structural or checksum
+// verification.
+var ErrCorrupt = errors.New("snapshot: corrupt frame")
+
+// ErrNoSnapshot reports that no usable snapshot exists in the store.
+var ErrNoSnapshot = errors.New("snapshot: no usable snapshot")
+
+// Encode frames v's JSON encoding: header with format version and
+// payload checksum, then the payload.
+func Encode(v any) ([]byte, error) {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encode payload: %w", err)
+	}
+	out := make([]byte, headerSize+len(payload))
+	copy(out, magic)
+	binary.BigEndian.PutUint32(out[8:], Version)
+	binary.BigEndian.PutUint64(out[12:], uint64(len(payload)))
+	binary.BigEndian.PutUint32(out[20:], crc32.ChecksumIEEE(payload))
+	copy(out[headerSize:], payload)
+	return out, nil
+}
+
+// Decode verifies a frame and unmarshals its payload into v: magic,
+// supported version, exact payload length and checksum must all hold.
+func Decode(data []byte, v any) error {
+	if len(data) < headerSize {
+		return fmt.Errorf("%w: %d bytes, header needs %d", ErrCorrupt, len(data), headerSize)
+	}
+	if string(data[:8]) != magic {
+		return fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	version := binary.BigEndian.Uint32(data[8:])
+	if version != Version {
+		return fmt.Errorf("snapshot: format version %d not supported (this build reads %d)", version, Version)
+	}
+	plen := binary.BigEndian.Uint64(data[12:])
+	if plen != uint64(len(data)-headerSize) {
+		return fmt.Errorf("%w: payload %d bytes, header declares %d (truncated write?)", ErrCorrupt, len(data)-headerSize, plen)
+	}
+	payload := data[headerSize:]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(data[20:]) {
+		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	if err := json.Unmarshal(payload, v); err != nil {
+		return fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+	}
+	return nil
+}
+
+// Store persists a sequence of snapshots in one directory.
+type Store struct {
+	// Dir is the snapshot directory; Save creates it on first use.
+	Dir string
+	// Keep bounds how many snapshots are retained (default 5). Older
+	// files are deleted after each successful save.
+	Keep int
+}
+
+const fileExt = ".pbosnap"
+
+func (s *Store) keep() int {
+	if s.Keep <= 0 {
+		return 5
+	}
+	return s.Keep
+}
+
+// Save writes v as the next snapshot in sequence and prunes old files.
+// The write is atomic and durable: the frame lands under a temporary name,
+// is fsynced, renamed into place, and the directory entry is synced — a
+// crash at any point leaves either the complete new snapshot or none.
+func (s *Store) Save(v any) (path string, err error) {
+	frame, err := Encode(v)
+	if err != nil {
+		return "", err
+	}
+	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
+		return "", fmt.Errorf("snapshot: %w", err)
+	}
+	seqs, err := s.sequence()
+	if err != nil {
+		return "", err
+	}
+	next := uint64(1)
+	if n := len(seqs); n > 0 {
+		next = seqs[n-1] + 1
+	}
+	path = s.path(next)
+	if err := writeFileDurable(path, frame); err != nil {
+		return "", err
+	}
+	for len(seqs) >= s.keep() {
+		if err := os.Remove(s.path(seqs[0])); err != nil && !os.IsNotExist(err) {
+			return "", fmt.Errorf("snapshot: prune: %w", err)
+		}
+		seqs = seqs[1:]
+	}
+	return path, nil
+}
+
+// LoadLatest decodes the newest snapshot that verifies into v, skipping
+// corrupt or truncated files, and returns its path. ErrNoSnapshot is
+// returned when the directory holds no snapshot that decodes.
+func (s *Store) LoadLatest(v any) (path string, err error) {
+	seqs, err := s.sequence()
+	if err != nil {
+		return "", err
+	}
+	var lastErr error
+	for i := len(seqs) - 1; i >= 0; i-- {
+		p := s.path(seqs[i])
+		data, err := os.ReadFile(p)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := Decode(data, v); err != nil {
+			lastErr = fmt.Errorf("%s: %w", filepath.Base(p), err)
+			continue
+		}
+		return p, nil
+	}
+	if lastErr != nil {
+		return "", fmt.Errorf("%w (newest failure: %v)", ErrNoSnapshot, lastErr)
+	}
+	return "", ErrNoSnapshot
+}
+
+// List returns the paths of all snapshots, oldest first.
+func (s *Store) List() ([]string, error) {
+	seqs, err := s.sequence()
+	if err != nil {
+		return nil, err
+	}
+	paths := make([]string, len(seqs))
+	for i, q := range seqs {
+		paths[i] = s.path(q)
+	}
+	return paths, nil
+}
+
+func (s *Store) path(seq uint64) string {
+	return filepath.Join(s.Dir, fmt.Sprintf("snap-%08d%s", seq, fileExt))
+}
+
+// sequence returns the sorted sequence numbers present in the directory.
+func (s *Store) sequence() ([]uint64, error) {
+	entries, err := os.ReadDir(s.Dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		var seq uint64
+		if _, err := fmt.Sscanf(e.Name(), "snap-%08d"+fileExt, &seq); err == nil {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// writeFileDurable writes data to path atomically: temp file in the same
+// directory, fsync, rename over the final name, then sync the directory so
+// the rename itself is on disk.
+func writeFileDurable(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		// Best effort: the temp file is garbage either way.
+		//lint:ignore errcheck best-effort cleanup of a garbage temp file
+		_ = tmp.Close()
+		//lint:ignore errcheck best-effort cleanup of a garbage temp file
+		_ = os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("snapshot: write %s: %w", tmpName, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("snapshot: sync %s: %w", tmpName, err)
+	}
+	if err := tmp.Close(); err != nil {
+		cleanup()
+		return fmt.Errorf("snapshot: close %s: %w", tmpName, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		cleanup()
+		return fmt.Errorf("snapshot: rename: %w", err)
+	}
+	if d, err := os.Open(dir); err == nil {
+		serr := d.Sync()
+		cerr := d.Close()
+		if serr != nil {
+			return fmt.Errorf("snapshot: sync dir %s: %w", dir, serr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("snapshot: close dir %s: %w", dir, cerr)
+		}
+	}
+	return nil
+}

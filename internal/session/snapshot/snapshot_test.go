@@ -1,0 +1,188 @@
+package snapshot
+
+import (
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type payload struct {
+	Name string    `json:"name"`
+	Seq  int       `json:"seq"`
+	Xs   []float64 `json:"xs"`
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	in := payload{Name: "run-1", Seq: 42, Xs: []float64{1.5, -2.25, 0.1}}
+	frame, err := Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(frame, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || out.Seq != in.Seq || len(out.Xs) != len(in.Xs) {
+		t.Fatalf("round trip: %+v", out)
+	}
+	for i := range in.Xs {
+		//lint:ignore floatcmp JSON float64 round-trips must be exact
+		if out.Xs[i] != in.Xs[i] {
+			t.Fatalf("x[%d] = %v, want %v", i, out.Xs[i], in.Xs[i])
+		}
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	frame, err := Encode(&payload{Name: "x"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := frame[:headerSize-1]
+	badMagic := append([]byte(nil), frame...)
+	badMagic[0] = 'X'
+	badVersion := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(badVersion[8:], Version+1)
+	truncated := frame[:len(frame)-3]
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0xff
+
+	cases := map[string][]byte{
+		"empty":        nil,
+		"short":        short,
+		"bad magic":    badMagic,
+		"future ver":   badVersion,
+		"truncated":    truncated,
+		"bit flip":     flipped,
+		"text garbage": []byte("PBOSNAP\x00 but definitely not a frame body at all"),
+	}
+	for name, data := range cases {
+		var out payload
+		if err := Decode(data, &out); err == nil {
+			t.Errorf("%s: corrupt frame accepted", name)
+		}
+	}
+
+	// The version error is a clear message, not just "corrupt".
+	var out payload
+	if err := Decode(badVersion, &out); errors.Is(err, ErrCorrupt) {
+		t.Error("future version reported as corruption rather than a version mismatch")
+	}
+}
+
+func TestStoreSaveLoadLatest(t *testing.T) {
+	st := &Store{Dir: filepath.Join(t.TempDir(), "snaps")}
+	if _, err := st.LoadLatest(&payload{}); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("empty store: err = %v, want ErrNoSnapshot", err)
+	}
+
+	for i := 1; i <= 3; i++ {
+		if _, err := st.Save(&payload{Name: "run", Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var got payload
+	path, err := st.LoadLatest(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 3 {
+		t.Fatalf("latest seq = %d, want 3", got.Seq)
+	}
+	if filepath.Base(path) != "snap-00000003"+fileExt {
+		t.Fatalf("latest path = %s", path)
+	}
+}
+
+func TestStoreRetention(t *testing.T) {
+	st := &Store{Dir: t.TempDir(), Keep: 3}
+	for i := 1; i <= 7; i++ {
+		if _, err := st.Save(&payload{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("retained %d snapshots, want 3: %v", len(paths), paths)
+	}
+	// Retained files are the newest, and sequence numbers keep rising
+	// across pruning (snapshot 7 is snap-00000007, not recycled).
+	if filepath.Base(paths[len(paths)-1]) != "snap-00000007"+fileExt {
+		t.Fatalf("newest = %s", paths[len(paths)-1])
+	}
+	var got payload
+	if _, err := st.LoadLatest(&got); err != nil || got.Seq != 7 {
+		t.Fatalf("latest = %d (%v), want 7", got.Seq, err)
+	}
+}
+
+func TestStoreFallsBackPastCorruptFiles(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	for i := 1; i <= 3; i++ {
+		if _, err := st.Save(&payload{Seq: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	paths, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest (bit flip) and truncate the middle one — the
+	// torn-write shapes a crash can leave behind.
+	newest := paths[2]
+	data, err := os.ReadFile(newest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(newest, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mid, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(paths[1], mid[:len(mid)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var got payload
+	from, err := st.LoadLatest(&got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 || from != paths[0] {
+		t.Fatalf("fell back to seq %d (%s), want 1 (%s)", got.Seq, from, paths[0])
+	}
+
+	// All corrupt: ErrNoSnapshot with the newest failure attached.
+	if err := os.WriteFile(paths[0], []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.LoadLatest(&got); !errors.Is(err, ErrNoSnapshot) {
+		t.Fatalf("all-corrupt store: err = %v, want ErrNoSnapshot", err)
+	}
+}
+
+func TestStoreIgnoresForeignFiles(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	if err := os.WriteFile(filepath.Join(st.Dir, "notes.txt"), []byte("hi"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Save(&payload{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	paths, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Fatalf("list = %v", paths)
+	}
+}

@@ -5,21 +5,25 @@
 # B/op, allocs/op per benchmark) for checking in as evidence alongside
 # performance-sensitive changes:
 #
-#   hotpath — the steady-state prediction/acquisition benchmarks whose
-#             zero-allocation budgets DESIGN.md §9 pins -> BENCH_hotpath.json
-#   linalg  — the large-n linear-algebra suite (blocked MulInto, Extend,
-#             batched k★ fills, n=4096 prediction) -> BENCH_linalg.json
+#   hotpath  — the steady-state prediction/acquisition benchmarks whose
+#              zero-allocation budgets DESIGN.md §9 pins -> BENCH_hotpath.json
+#   linalg   — the large-n linear-algebra suite (blocked MulInto, Extend,
+#              batched k★ fills, n=4096 prediction) -> BENCH_linalg.json
+#   snapshot — the session checkpoint codec at n=1024 recorded cycles
+#              (encode/decode ns and frame bytes) -> BENCH_snapshot.json
 #
 # Usage:
-#   ./scripts/bench.sh             # full-accuracy run -> both JSON files
+#   ./scripts/bench.sh             # full-accuracy run -> all JSON files
 #   ./scripts/bench.sh -check     # also enforce the budgets/floors below
 #
 # Environment:
 #   BENCHTIME          hotpath -benchtime value (default 2s; use 100x in gates)
 #   BENCHTIME_LINALG   linalg -benchtime value (default 2s; the gate uses 1x
 #                      because the 1024³ matmuls run ~0.5 s per iteration)
+#   BENCHTIME_SNAPSHOT snapshot -benchtime value (default 2s; gates use 1x)
 #   OUT                hotpath JSON path (default BENCH_hotpath.json)
 #   OUT_LINALG         linalg JSON path (default BENCH_linalg.json)
+#   OUT_SNAPSHOT       snapshot JSON path (default BENCH_snapshot.json)
 #
 # Checks (enforced with -check):
 #   - alloc budgets: the zero-allocation contract of DESIGN.md §9. A
@@ -34,8 +38,10 @@ cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 BENCHTIME_LINALG="${BENCHTIME_LINALG:-2s}"
+BENCHTIME_SNAPSHOT="${BENCHTIME_SNAPSHOT:-2s}"
 OUT="${OUT:-BENCH_hotpath.json}"
 OUT_LINALG="${OUT_LINALG:-BENCH_linalg.json}"
+OUT_SNAPSHOT="${OUT_SNAPSHOT:-BENCH_snapshot.json}"
 CHECK=0
 if [ "${1:-}" = "-check" ]; then
     CHECK=1
@@ -43,7 +49,8 @@ fi
 
 raw=$(mktemp)
 rawlin=$(mktemp)
-trap 'rm -f "$raw" "$rawlin"' EXIT
+rawsnap=$(mktemp)
+trap 'rm -f "$raw" "$rawlin" "$rawsnap"' EXIT
 
 # Anchored names: the LargeN linalg benchmarks also contain "Predict" /
 # "Fantasize" and must not leak into the hotpath suite.
@@ -56,23 +63,29 @@ go test -run '^$' -bench 'MulInto|Extend1024$|ExtendCols1024$|EvalRowFill' \
 go test -run '^$' -bench 'LargeN' \
     -benchmem -benchtime "$BENCHTIME_LINALG" ./internal/gp/ >>"$rawlin"
 
+go test -run '^$' -bench 'SnapshotEncode1024$|SnapshotDecode1024$' \
+    -benchmem -benchtime "$BENCHTIME_SNAPSHOT" ./internal/session/snapshot/ >"$rawsnap"
+
 tojson() {
     awk '
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
-        ns = ""; bytes = ""; allocs = ""
+        ns = ""; bytes = ""; allocs = ""; frame = ""
         for (i = 2; i <= NF; i++) {
             if ($(i+1) == "ns/op") ns = $i
             if ($(i+1) == "B/op") bytes = $i
             if ($(i+1) == "allocs/op") allocs = $i
+            if ($(i+1) == "frame-bytes") frame = $i
         }
         if (ns == "") next
         if (!first) print ","
         first = 0
-        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", \
+        printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
             name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
+        if (frame != "") printf ", \"frame_bytes\": %s", frame
+        printf "}"
     }
     END { print "\n]" }
     ' "$1"
@@ -80,8 +93,9 @@ tojson() {
 
 tojson "$raw" >"$OUT"
 tojson "$rawlin" >"$OUT_LINALG"
+tojson "$rawsnap" >"$OUT_SNAPSHOT"
 
-echo "bench.sh: wrote $OUT and $OUT_LINALG"
+echo "bench.sh: wrote $OUT, $OUT_LINALG and $OUT_SNAPSHOT"
 
 if [ "$CHECK" = "1" ]; then
     # name:max_allocs_per_op pairs pinned by the hot-path contract.
@@ -115,8 +129,18 @@ if [ "$CHECK" = "1" ]; then
         fail=1
     fi
 
+    # Snapshot codec evidence: both benchmarks must have run and reported
+    # the frame size, so BENCH_snapshot.json can never silently go stale.
+    for b in BenchmarkSnapshotEncode1024 BenchmarkSnapshotDecode1024; do
+        frame=$(awk -v n="$b" '$1 ~ "^"n"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="frame-bytes") print $i }' "$rawsnap")
+        if [ -z "$frame" ]; then
+            echo "bench.sh: FAIL: $b did not run or did not report frame-bytes" >&2
+            fail=1
+        fi
+    done
+
     if [ "$fail" = "1" ]; then
         exit 1
     fi
-    echo "bench.sh: alloc budgets and linalg floor hold"
+    echo "bench.sh: alloc budgets, linalg floor and snapshot evidence hold"
 fi

@@ -4,7 +4,9 @@
 # Runs, in order: formatting, vet, build, the project's own invariant
 # linter (cmd/pbolint), the full test suite under the race detector, a
 # named re-run of the bit-identity property tests for the parallel and
-# blocked linear-algebra paths (still under -race), the hot-path
+# blocked linear-algebra paths (still under -race), a named re-run of
+# the kill-and-resume determinism tests for the session/serving stack
+# (still under -race), the hot-path
 # allocation-regression tests without the race detector (alloc counts
 # are only meaningful uninstrumented), a single-iteration pass over
 # every benchmark so bench code cannot rot uncompiled, and one fast
@@ -47,16 +49,29 @@ go test -race \
     -run 'TestMulBlocked|TestMulIntoDispatch|TestAnyZero|TestEvalRowAuto|TestPredictJointParallelBitIdentity|TestExtendFreshFactorSkipsTransposeBuild|TestExtendColsMatchesExtend|TestExtendPathsAgree|TestEvalBatchUnboundedClampsGoroutines' \
     -count 1 ./internal/mat/ ./internal/kernel/ ./internal/gp/ ./internal/parallel/
 
+echo "== kill-and-resume determinism under -race"
+# Named explicitly so the crash-safe serving contracts cannot be silently
+# dropped from the gate: checkpoint/resume bit-identity at the ask/tell
+# core, per-strategy resume, the session ledger with partial tells and
+# corrupt-snapshot fallback, the concurrent HTTP e2e, and the real
+# SIGTERM drain-and-resume lifecycle of cmd/pboserver.
+go test -race \
+    -run 'TestAskTellCheckpointResume|TestStrategyKillAndResume|TestSessionKillAndResume|TestSessionResumeSurvivesCorruptNewestSnapshot|TestServerConcurrentSessions|TestServerKillAndResume|TestServerSIGTERMDrainAndResume' \
+    -count 1 ./internal/core/ ./internal/strategy/ ./internal/session/ ./internal/serve/ ./cmd/pboserver/
+
 echo "== alloc-regression tests (no race detector)"
 go test -run 'Alloc' ./internal/mat/ ./internal/kernel/ ./internal/gp/
 
 echo "== benchmarks compile and run once"
 go test -run '^$' -bench . -benchtime 1x ./...
 
-echo "== bench.sh alloc budgets and linalg floor"
+echo "== bench.sh alloc budgets, linalg floor and snapshot evidence"
 benchjson=$(mktemp)
 benchlinjson=$(mktemp)
-BENCHTIME=100x BENCHTIME_LINALG=1x OUT="$benchjson" OUT_LINALG="$benchlinjson" ./scripts/bench.sh -check
-rm -f "$benchjson" "$benchlinjson"
+benchsnapjson=$(mktemp)
+BENCHTIME=100x BENCHTIME_LINALG=1x BENCHTIME_SNAPSHOT=1x \
+    OUT="$benchjson" OUT_LINALG="$benchlinjson" OUT_SNAPSHOT="$benchsnapjson" \
+    ./scripts/bench.sh -check
+rm -f "$benchjson" "$benchlinjson" "$benchsnapjson"
 
 echo "check.sh: all gates passed"
