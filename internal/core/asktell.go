@@ -162,6 +162,12 @@ func (at *AskTell) SetNow(now func() time.Time) {
 // ErrNoBatchReady while initial-design results are still outstanding, an
 // ErrInterrupted-wrapped error if ctx is cancelled, and a fatal error if
 // the model fit fails (the run is then unusable).
+//
+// A cancelled Ask is transactional: the cycle's side effects — virtual
+// clock charges, parent stream draws, warm-start state — are rolled back
+// before the error returns, so a retried Ask (an HTTP timeout followed
+// by a client retry, say) replays the cycle exactly as an uninterrupted
+// run would have, keeping the session bit-identical on replay.
 func (at *AskTell) Ask(ctx context.Context) (*Batch, error) {
 	if at.failed != nil {
 		return nil, at.failed
@@ -192,6 +198,19 @@ func (at *AskTell) Ask(ctx context.Context) (*Batch, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, interrupted("between cycles", err)
 	}
+	// With a cancellable context the cycle runs as a transaction: capture
+	// the rewindable state up front and restore it if the fit or the
+	// acquisition is cut short, so a retried Ask replays the cycle with
+	// the same budget charge, the same stream draws and the same warm
+	// starts as an uninterrupted run. A background context cannot cancel
+	// and skips the capture.
+	var rb *cycleRollback
+	if ctx.Done() != nil {
+		var err error
+		if rb, err = at.captureCycle(); err != nil {
+			return nil, err
+		}
+	}
 	at.cycle++
 	cycle := at.cycle
 	at.st.Cycle = cycle
@@ -199,7 +218,9 @@ func (at *AskTell) Ask(ctx context.Context) (*Batch, error) {
 	fitVirtual, err := at.fitModel(ctx, cycle)
 	if err != nil {
 		if ctx.Err() != nil {
-			at.cycle--
+			if rerr := at.rollbackCycle(rb); rerr != nil {
+				return nil, rerr
+			}
 			return nil, interrupted("model fit", ctx.Err())
 		}
 		at.failed = fmt.Errorf("core: cycle %d fit: %w", cycle, err)
@@ -208,10 +229,93 @@ func (at *AskTell) Ask(ctx context.Context) (*Batch, error) {
 
 	points, acqVirtual, fallback, reason, err := at.acquireBatch(ctx, cycle)
 	if err != nil {
-		at.cycle--
+		if rerr := at.rollbackCycle(rb); rerr != nil {
+			return nil, rerr
+		}
 		return nil, interrupted("acquisition", err)
 	}
+	// The lifecycle hooks fire only once the cycle is committed to the
+	// ledger, in the closed loop's OnFit→OnAcquire order; a rolled-back
+	// attempt is invisible to observers.
+	at.hook.OnFit(cycle, at.model, fitVirtual)
+	at.hook.OnAcquire(cycle, points, fallback, reason, acqVirtual)
 	return at.addPending(cycle, points, fitVirtual, acqVirtual, fallback, reason), nil
+}
+
+// cycleRollback captures every piece of run state the cycle phase can
+// mutate before its batch lands in the ledger: the virtual clock, the
+// cycle counter, the current surrogate, the parent rng streams (Split
+// consumes a parent draw, so even an aborted fit or propose advances
+// them), and the factory's and strategy's checkpointable state.
+type cycleRollback struct {
+	cycle         int
+	elapsed       time.Duration
+	model         surrogate.Surrogate
+	fitStream     []byte
+	acqStream     []byte
+	jitterStream  []byte
+	factoryState  []byte
+	hasFactory    bool
+	strategyState []byte
+	hasStrategy   bool
+}
+
+func (at *AskTell) captureCycle() (*cycleRollback, error) {
+	rb := &cycleRollback{
+		cycle:        at.cycle,
+		elapsed:      at.clock.Elapsed(),
+		model:        at.model,
+		fitStream:    at.fitStream.State(),
+		acqStream:    at.acqStream.State(),
+		jitterStream: at.jitterStream.State(),
+	}
+	if fc, ok := at.factory.(FactoryCheckpointer); ok {
+		state, err := fc.FactoryState()
+		if err != nil {
+			return nil, fmt.Errorf("core: capture factory state: %w", err)
+		}
+		rb.factoryState, rb.hasFactory = state, true
+	}
+	if sc, ok := at.cfg.Strategy.(StrategyCheckpointer); ok {
+		state, err := sc.StrategyState()
+		if err != nil {
+			return nil, fmt.Errorf("core: capture strategy state: %w", err)
+		}
+		rb.strategyState, rb.hasStrategy = state, true
+	}
+	return rb, nil
+}
+
+// rollbackCycle rewinds a cancelled cycle to its captured state. A
+// restore failure (or a cancellation that somehow arrived without a
+// capture) leaves the run in an unknown state, so it is marked failed.
+func (at *AskTell) rollbackCycle(rb *cycleRollback) error {
+	if rb == nil {
+		at.failed = errors.New("core: cancelled cycle has no rollback state")
+		return at.failed
+	}
+	err := at.fitStream.Restore(rb.fitStream)
+	if err == nil {
+		err = at.acqStream.Restore(rb.acqStream)
+	}
+	if err == nil {
+		err = at.jitterStream.Restore(rb.jitterStream)
+	}
+	if err == nil && rb.hasFactory {
+		err = at.factory.(FactoryCheckpointer).RestoreFactoryState(rb.factoryState)
+	}
+	if err == nil && rb.hasStrategy {
+		err = at.cfg.Strategy.(StrategyCheckpointer).RestoreStrategyState(rb.strategyState)
+	}
+	if err != nil {
+		at.failed = fmt.Errorf("core: rollback of cancelled cycle: %w", err)
+		return at.failed
+	}
+	at.cycle = rb.cycle
+	at.st.Cycle = rb.cycle
+	at.clock.elapsed = rb.elapsed
+	at.model = rb.model
+	return nil
 }
 
 func (at *AskTell) addPending(cycle int, points [][]float64, fitVirtual, acqVirtual time.Duration, fallback bool, reason string) *Batch {
@@ -305,7 +409,6 @@ func (at *AskTell) fitModel(ctx context.Context, cycle int) (time.Duration, erro
 	at.model = model
 	fitVirtual := time.Duration(float64(fitReal) * at.clock.OverheadFactor)
 	at.clock.AddMeasured(fitReal)
-	at.hook.OnFit(cycle, model, fitVirtual)
 	return fitVirtual, nil
 }
 
@@ -342,7 +445,6 @@ func (at *AskTell) acquireBatch(ctx context.Context, cycle int) (batch [][]float
 	acqReal /= time.Duration(speedup)
 	virtual = time.Duration(float64(acqReal) * at.clock.OverheadFactor)
 	at.clock.AddMeasured(acqReal)
-	at.hook.OnAcquire(cycle, batch, fallback, reason, virtual)
 	return batch, virtual, fallback, reason, nil
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/parallel"
+	"repro/internal/rng"
 	"repro/internal/surrogate"
 )
 
@@ -411,4 +412,141 @@ func TestAskTellContextCancellation(t *testing.T) {
 	if res.Cycles != 0 {
 		t.Fatalf("cycles = %d after pre-cycle cancellation", res.Cycles)
 	}
+}
+
+// cancellingStrategy delegates to an inner strategy but cancels the
+// run's context from inside Propose on one chosen cycle — the shape of
+// an HTTP timeout landing mid-acquisition.
+type cancellingStrategy struct {
+	inner  Strategy
+	fireAt int
+	cancel context.CancelFunc
+	fired  bool
+}
+
+func (c *cancellingStrategy) Name() string            { return c.inner.Name() }
+func (c *cancellingStrategy) Reset()                  { c.inner.Reset() }
+func (c *cancellingStrategy) APParallelism(q int) int { return c.inner.APParallelism(q) }
+func (c *cancellingStrategy) Observe(st *State, xs [][]float64, ys []float64) {
+	c.inner.Observe(st, xs, ys)
+}
+func (c *cancellingStrategy) Propose(ctx context.Context, m surrogate.Surrogate, st *State, q int, stream *rng.Stream) ([][]float64, error) {
+	if !c.fired && st.Cycle == c.fireAt {
+		c.fired = true
+		c.cancel()
+		return nil, ctx.Err()
+	}
+	return c.inner.Propose(ctx, m, st, q, stream)
+}
+
+// cancellingFactory cancels the context from inside the model fit on one
+// chosen cycle, before the inner factory is touched.
+type cancellingFactory struct {
+	inner  ModelFactory
+	fireAt int
+	cancel context.CancelFunc
+	fired  bool
+}
+
+func (f *cancellingFactory) Fit(ctx context.Context, st *State, cycle int) (surrogate.Surrogate, error) {
+	if !f.fired && cycle == f.fireAt {
+		f.fired = true
+		f.cancel()
+		return nil, ctx.Err()
+	}
+	return f.inner.Fit(ctx, st, cycle)
+}
+
+// driveCancellable drives the loop with a cancellable context, minting a
+// fresh context after each interruption (bind rewires the injected
+// canceller to it) and asserting that an interrupted Ask charged nothing
+// to the virtual budget. It returns the final result and how many
+// interruptions were observed.
+func driveCancellable(t *testing.T, e *Engine, at *AskTell, bind func(context.CancelFunc)) (*Result, int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	bind(cancel)
+	interrupts := 0
+	for {
+		before := at.Elapsed()
+		b, err := at.Ask(ctx)
+		if errors.Is(err, ErrDone) {
+			return at.Result(), interrupts
+		}
+		if errors.Is(err, ErrInterrupted) {
+			interrupts++
+			if interrupts > 5 {
+				t.Fatal("run did not recover from cancellation")
+			}
+			if at.Elapsed() != before {
+				t.Fatalf("cancelled Ask charged %v to the budget", at.Elapsed()-before)
+			}
+			ctx, cancel = context.WithCancel(context.Background())
+			bind(cancel)
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		br, err := e.Pool.EvalBatch(ctx, e.Problem.Evaluator, b.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := at.Tell(b.ID, br.Y, br.Costs); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAskTellCancelledAskRollsBack is the transactionality property: an
+// Ask cut short by context cancellation — in the acquisition or in the
+// model fit — must leave no trace, so retrying it yields a run
+// bit-identical to one that was never interrupted (full Result,
+// History and virtual clock included).
+func TestAskTellCancelledAskRollsBack(t *testing.T) {
+	t.Run("acquisition", func(t *testing.T) {
+		ref := referenceResult(t, 33)
+
+		e := askTellEngine(33)
+		cs := &cancellingStrategy{inner: e.Strategy, fireAt: 2}
+		e.Strategy = cs
+		at, err := NewAskTell(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at.SetNow(fakeNow())
+		got, interrupts := driveCancellable(t, e, at, func(c context.CancelFunc) { cs.cancel = c })
+		if interrupts != 1 {
+			t.Fatalf("interrupts = %d, want 1", interrupts)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("cancelled+retried run diverged from uninterrupted reference:\nref %+v\ngot %+v", ref, got)
+		}
+	})
+
+	t.Run("model fit", func(t *testing.T) {
+		ref := referenceResult(t, 34)
+
+		e := askTellEngine(34)
+		cfg := e.defaults()
+		cf := &cancellingFactory{
+			// Mirror NewAskTell's default factory so the inner fits match
+			// the reference run's exactly.
+			inner:  &gpFactory{cfg: e.gpConfig(cfg.Seed), refitEvery: cfg.Model.RefitEvery},
+			fireAt: 2,
+		}
+		e.Factory = cf
+		at, err := NewAskTell(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at.SetNow(fakeNow())
+		got, interrupts := driveCancellable(t, e, at, func(c context.CancelFunc) { cf.cancel = c })
+		if interrupts != 1 {
+			t.Fatalf("interrupts = %d, want 1", interrupts)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("fit-cancelled run diverged from uninterrupted reference:\nref %+v\ngot %+v", ref, got)
+		}
+	})
 }

@@ -303,6 +303,32 @@ type Result struct {
 	Y []float64
 }
 
+// Clone returns a deep copy of r sharing no memory with it. AskTell's
+// Result aliases the run's live history and trace slices (rewritten on
+// every tell), so anything that reads a Result outside the owner's
+// lock — the HTTP result handler, most of all — must work on a clone.
+func (r *Result) Clone() *Result {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	out.BestX = cloneVecOrNil(r.BestX)
+	out.History = append([]CycleRecord(nil), r.History...)
+	out.X = cloneMatrix(r.X)
+	out.Y = cloneVecOrNil(r.Y)
+	return &out
+}
+
+// cloneVecOrNil deep-copies a vector, preserving nil-ness (CloneVec
+// turns nil into an empty slice, which would flip "no incumbent yet"
+// checks against BestX).
+func cloneVecOrNil(x []float64) []float64 {
+	if x == nil {
+		return nil
+	}
+	return mat.CloneVec(x)
+}
+
 // BestTrace returns the best-so-far value after each simulation, the
 // quantity plotted in the paper's Figures 3–7.
 func (r *Result) BestTrace(minimize bool) []float64 {

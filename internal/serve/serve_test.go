@@ -361,3 +361,25 @@ func TestServerAPIErrors(t *testing.T) {
 func errorContains(err error, sub string) bool {
 	return err != nil && strings.Contains(err.Error(), sub)
 }
+
+// TestServerCreateRefusesPersistedSpec: a Create whose snapshot directory
+// already holds a persisted spec — a previous process's run — must refuse
+// with ErrExists rather than silently overwrite it, and the persisted
+// session must remain resumable afterwards.
+func TestServerCreateRefusesPersistedSpec(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "snaps")
+	spec := testSpecs()[3]
+	if _, err := (&Server{SnapRoot: root}).Create(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh server over the same root (the restarted process) knows
+	// nothing about the session in memory — only the spec on disk.
+	srv2 := &Server{SnapRoot: root}
+	if _, err := srv2.Create(spec); !errors.Is(err, ErrExists) {
+		t.Fatalf("create over persisted session: %v, want ErrExists", err)
+	}
+	if _, err := srv2.Resume(spec.ID); err != nil {
+		t.Fatalf("resume after refused create: %v", err)
+	}
+}

@@ -71,6 +71,12 @@ func (s *Server) Create(spec SessionSpec) (*session.Session, error) {
 	}
 	store := s.store(spec.ID)
 	if store != nil {
+		specPath := filepath.Join(store.Dir, specFile)
+		if _, err := os.Stat(specPath); err == nil {
+			return nil, fmt.Errorf("serve: session %q persisted in %s, resume it instead: %w", spec.ID, store.Dir, ErrExists)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
 		if err := os.MkdirAll(store.Dir, 0o755); err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
@@ -78,12 +84,23 @@ func (s *Server) Create(spec SessionSpec) (*session.Session, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: %w", err)
 		}
-		if err := os.WriteFile(filepath.Join(store.Dir, specFile), raw, 0o644); err != nil {
-			return nil, fmt.Errorf("serve: %w", err)
+		// The spec rides the snapshots' atomic+durable write path: a
+		// truncated spec.json would make ResumeAll abort on every start.
+		if err := snapshot.WriteFileDurable(specPath, raw); err != nil {
+			return nil, fmt.Errorf("serve: write spec: %w", err)
 		}
 	}
 	sess, err := session.New(session.Config{ID: spec.ID, Engine: eng, Store: store, Now: s.Now})
 	if err != nil {
+		if store != nil {
+			// Unwind the spec so ResumeAll does not trip forever over a
+			// session that never came to life; the directory removal only
+			// succeeds when nothing else landed in it.
+			//lint:ignore errcheck best-effort unwind, resume skips spec-less directories
+			_ = os.Remove(filepath.Join(store.Dir, specFile))
+			//lint:ignore errcheck best-effort unwind
+			_ = os.Remove(store.Dir)
+		}
 		return nil, err
 	}
 	if s.sessions == nil {

@@ -251,12 +251,16 @@ func (s *Session) Tell(ctx context.Context, results []EvalResult) error {
 
 	// Forward every batch that just completed, in ask order — the order
 	// the closed loop would have told them, keeping sequential drivers
-	// bit-identical to Engine.Run.
-	remaining := s.order[:0]
-	for _, id := range s.order {
+	// bit-identical to Engine.Run. The ledger is rebuilt into a fresh
+	// slice (never in place over s.order's backing array) so that a
+	// forward error leaves it consistent: batches already forwarded are
+	// dropped, everything from the failed one on stays pending.
+	remaining := make([]int, 0, len(s.order))
+	for i, id := range s.order {
 		p := s.partials[id]
 		if p.n == len(p.batch.Points) {
 			if err := s.at.Tell(id, p.ys, p.costs); err != nil {
+				s.order = append(remaining, s.order[i:]...)
 				return err
 			}
 			delete(s.partials, id)
@@ -327,11 +331,14 @@ func (s *Session) Done() bool {
 	return s.at.Done()
 }
 
-// Result returns the run result accumulated so far.
+// Result returns a deep copy of the run result accumulated so far. The
+// copy shares no memory with the session's live state, so callers may
+// read or serialize it after the session lock is released while other
+// goroutines keep asking and telling — the server's GET result path.
 func (s *Session) Result() *core.Result {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.at.Result()
+	return s.at.Result().Clone()
 }
 
 // Snapshot forces a snapshot now (no-op without a store). The server's

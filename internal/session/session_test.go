@@ -3,16 +3,20 @@ package session
 import (
 	"context"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/rng"
 	"repro/internal/session/snapshot"
 	"repro/internal/strategy"
+	"repro/internal/surrogate"
 )
 
 // detNow is a deterministic measured-time source (1ms per call), making
@@ -307,5 +311,125 @@ func corruptFile(t *testing.T, path string) {
 	data[len(data)-1] ^= 0xff
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// nullStrategy proposes uniform batches straight from the acquisition
+// stream and never reads the surrogate, so it can run against the
+// nil-model stubFactory below.
+type nullStrategy struct{}
+
+func (nullStrategy) Name() string { return "null" }
+func (nullStrategy) Reset()       {}
+func (nullStrategy) Propose(_ context.Context, _ surrogate.Surrogate, st *core.State, q int, stream *rng.Stream) ([][]float64, error) {
+	out := make([][]float64, q)
+	for i := range out {
+		out[i] = stream.UniformVec(st.Problem.Lo, st.Problem.Hi)
+	}
+	return out, nil
+}
+func (nullStrategy) Observe(*core.State, [][]float64, []float64) {}
+func (nullStrategy) APParallelism(int) int                       { return 1 }
+
+// stubFactory returns a nil surrogate until failFrom, then fails —
+// driving the engine into its sticky failed state on demand.
+type stubFactory struct{ failFrom int }
+
+func (f stubFactory) Fit(_ context.Context, _ *core.State, cycle int) (surrogate.Surrogate, error) {
+	if cycle >= f.failFrom {
+		return nil, errors.New("synthetic fit failure")
+	}
+	return nil, nil
+}
+
+// TestSessionTellErrorKeepsLedgerConsistent: when the engine rejects a
+// forward mid-Tell (here via its sticky failed state), the session's
+// pending ledger must stay consistent — the undelivered batch remains
+// pending exactly once and Status/PendingWork still work.
+func TestSessionTellErrorKeepsLedgerConsistent(t *testing.T) {
+	e := testEngine(t, "KB-q-EGO")
+	e.Strategy = nullStrategy{}
+	e.Factory = stubFactory{failFrom: 2}
+	s, err := New(Config{ID: "ledger", Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// Complete the three design waves.
+	for i := 0; i < e.InitSamples/e.BatchSize; i++ {
+		b, err := s.Ask(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Tell(ctx, evalMembers(e, b)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Cycle 1 succeeds; keep its batch pending.
+	b1, err := s.Ask(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cycle 2's fit fails, leaving the engine in its sticky failed state.
+	if _, err := s.Ask(ctx); err == nil {
+		t.Fatal("fit failure not surfaced by Ask")
+	}
+	// Forwarding b1 now errors inside the rebuild loop — the ledger must
+	// come out the other side intact.
+	if err := s.Tell(ctx, evalMembers(e, b1)); err == nil {
+		t.Fatal("tell into failed engine succeeded")
+	}
+	st := s.Status()
+	if len(st.Pending) != 1 || st.Pending[0].BatchID != b1.ID || st.Pending[0].Received != len(b1.Points) {
+		t.Fatalf("pending ledger after failed forward: %+v", st.Pending)
+	}
+	pws := s.PendingWork()
+	if len(pws) != 1 || pws[0].Batch.ID != b1.ID {
+		t.Fatalf("pending work after failed forward: %+v", pws)
+	}
+}
+
+// TestSessionResultConcurrentEncode pins Result's deep-copy contract: a
+// returned Result may be serialized after the session lock is released,
+// concurrently with tells mutating the live run (the server's GET-result
+// versus POST-tell path; the race detector is the assertion). It also
+// checks the copies really are deep — mutating one leaks nowhere.
+func TestSessionResultConcurrentEncode(t *testing.T) {
+	e := testEngine(t, "KB-q-EGO")
+	s, err := New(Config{ID: "enc", Engine: e})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:ignore godiscipline test reader goroutine racing the drive loop, not an evaluation path
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.Result().WriteJSON(io.Discard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	driveToDone(t, e, s)
+	close(stop)
+	wg.Wait()
+
+	a, b := s.Result(), s.Result()
+	if len(a.X) == 0 || len(a.Y) == 0 || len(a.History) == 0 || a.BestX == nil {
+		t.Fatalf("expected a populated final result, got %+v", a)
+	}
+	a.X[0][0], a.Y[0], a.BestX[0] = 42, 42, 42
+	a.History[0].Evals = -1
+	if !reflect.DeepEqual(b, s.Result()) {
+		t.Fatal("mutating one Result copy leaked into the session")
 	}
 }

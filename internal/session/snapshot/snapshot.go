@@ -15,7 +15,10 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Version is the current snapshot format version. Decode accepts exactly
@@ -114,6 +117,7 @@ func (s *Store) Save(v any) (path string, err error) {
 	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
 		return "", fmt.Errorf("snapshot: %w", err)
 	}
+	s.sweepTemp()
 	seqs, err := s.sequence()
 	if err != nil {
 		return "", err
@@ -123,7 +127,7 @@ func (s *Store) Save(v any) (path string, err error) {
 		next = seqs[n-1] + 1
 	}
 	path = s.path(next)
-	if err := writeFileDurable(path, frame); err != nil {
+	if err := WriteFileDurable(path, frame); err != nil {
 		return "", err
 	}
 	for len(seqs) >= s.keep() {
@@ -180,7 +184,16 @@ func (s *Store) path(seq uint64) string {
 	return filepath.Join(s.Dir, fmt.Sprintf("snap-%08d%s", seq, fileExt))
 }
 
+// snapName anchors the file names path() generates (a Sscanf-style
+// prefix match would also accept trailing garbage, counting a crash
+// leftover like snap-00000007.pbosnap.tmp123 as sequence 7). 20 digits
+// bounds a uint64; wider padding is rejected by the path round-trip.
+var snapName = regexp.MustCompile(`^snap-([0-9]{8,20})` + regexp.QuoteMeta(fileExt) + `$`)
+
 // sequence returns the sorted sequence numbers present in the directory.
+// Only files whose name round-trips through path() count: every returned
+// sequence maps to exactly one canonical file, so phantom or duplicate
+// entries can never skew the next-sequence computation or retention.
 func (s *Store) sequence() ([]uint64, error) {
 	entries, err := os.ReadDir(s.Dir)
 	if os.IsNotExist(err) {
@@ -191,19 +204,42 @@ func (s *Store) sequence() ([]uint64, error) {
 	}
 	var seqs []uint64
 	for _, e := range entries {
-		var seq uint64
-		if _, err := fmt.Sscanf(e.Name(), "snap-%08d"+fileExt, &seq); err == nil {
-			seqs = append(seqs, seq)
+		m := snapName.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
 		}
+		seq, err := strconv.ParseUint(m[1], 10, 64)
+		if err != nil || filepath.Base(s.path(seq)) != e.Name() {
+			continue
+		}
+		seqs = append(seqs, seq)
 	}
 	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
 	return seqs, nil
 }
 
-// writeFileDurable writes data to path atomically: temp file in the same
-// directory, fsync, rename over the final name, then sync the directory so
-// the rename itself is on disk.
-func writeFileDurable(path string, data []byte) error {
+// sweepTemp removes crash leftovers: a temp file whose rename never
+// happened is garbage, and left in place would accumulate forever. Best
+// effort — Save proceeds regardless.
+func (s *Store) sweepTemp() {
+	entries, err := os.ReadDir(s.Dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), fileExt+".tmp") {
+			//lint:ignore errcheck best-effort sweep of an orphaned temp file
+			_ = os.Remove(filepath.Join(s.Dir, e.Name()))
+		}
+	}
+}
+
+// WriteFileDurable writes data to path atomically and durably: temp file
+// in the same directory, fsync, rename over the final name, then sync the
+// directory so the rename itself is on disk. Exported for sibling
+// persistence — the server's session specs — that must survive the same
+// crashes as the snapshots.
+func WriteFileDurable(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {

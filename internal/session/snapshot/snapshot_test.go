@@ -186,3 +186,47 @@ func TestStoreIgnoresForeignFiles(t *testing.T) {
 		t.Fatalf("list = %v", paths)
 	}
 }
+
+// TestStoreNameParsingIsAnchored: only file names that round-trip through
+// the store's own canonical form count as snapshots. A crash-orphaned
+// temp file ("snap-00000007.pbosnap.tmp123") or a zero-padding alias
+// ("snap-000000008.pbosnap", nine digits) must neither appear in List nor
+// skew the next sequence number, and Save sweeps the temp leftovers.
+func TestStoreNameParsingIsAnchored(t *testing.T) {
+	st := &Store{Dir: t.TempDir()}
+	tmp := filepath.Join(st.Dir, "snap-00000007.pbosnap.tmp123")
+	alias := filepath.Join(st.Dir, "snap-000000008.pbosnap")
+	for _, p := range []string{tmp, alias} {
+		if err := os.WriteFile(p, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	paths, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 0 {
+		t.Fatalf("list sees phantom snapshots: %v", paths)
+	}
+
+	// With no real snapshot present, the next save must start at 1 — not
+	// at 8 past the temp file's embedded number — and sweep the leftover.
+	p, err := st.Save(&payload{Seq: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p) != "snap-00000001.pbosnap" {
+		t.Fatalf("first save landed at %s", filepath.Base(p))
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp file survived Save: %v", err)
+	}
+	var got payload
+	if _, err := st.LoadLatest(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 1 {
+		t.Fatalf("loaded %+v", got)
+	}
+}
