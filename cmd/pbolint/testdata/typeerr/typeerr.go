@@ -1,0 +1,7 @@
+// Package typeerr is a pbolint CLI fixture that parses cleanly but
+// fails the type checker, exercising the non-fatal TypeErrors path: the
+// analysis still runs on what survived, and the run exits 2.
+package typeerr
+
+// Mismatched returns a string from an int function.
+func Mismatched() int { return "not an int" }

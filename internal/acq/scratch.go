@@ -25,6 +25,7 @@ func grabGradScratch(d int) *gradScratch {
 	}
 	s.dMu = s.dMu[:d]
 	s.dSD = s.dSD[:d]
+	//lint:ignore pooldiscipline acquire helper: ownership transfers to the caller, which owes the Put (DESIGN.md §9)
 	return s
 }
 
@@ -51,5 +52,6 @@ func grabBatchScratch(q, qxs int) *batchScratch {
 		s.xs = make([][]float64, qxs)
 	}
 	s.xs = s.xs[:qxs]
+	//lint:ignore pooldiscipline acquire helper: ownership transfers to the caller, which owes the Put (DESIGN.md §9)
 	return s
 }

@@ -1,8 +1,9 @@
 // Package analysis is a small stdlib-only static-analysis framework plus
-// the six project analyzers enforced by cmd/pbolint. The paper's
-// experimental claims rest on bit-reproducible runs under a wall-clock
-// budget, which gives the codebase invariants that plain `go vet` cannot
-// check:
+// the project analyzers enforced by cmd/pbolint (run `pbolint -list` for
+// the current roster — this comment deliberately avoids a count that
+// would rot). The paper's experimental claims rest on bit-reproducible
+// runs under a wall-clock budget, which gives the codebase invariants
+// that plain `go vet` cannot check:
 //
 //   - norand: all randomness flows through seed-splittable internal/rng
 //     streams; raw math/rand imports are forbidden elsewhere.
@@ -15,6 +16,12 @@
 //   - errcheck: no discarded error returns, neither `_ =` nor bare calls.
 //   - ctxfirst: context.Context is always the first parameter and never
 //     stored in a struct field, keeping the cancellation path visible.
+//   - pooldiscipline: every sync.Pool Get is paired with a Put on every
+//     return path, and pooled values never escape their function.
+//   - locksafe: pointers read from mutex-guarded fields do not leave the
+//     critical section alive, and no blocking call runs under a lock.
+//   - detorder: no map-iteration-order, wall-clock, or
+//     rng-split-in-parallel dependence outside the sanctioned seams.
 //
 // The framework is deliberately tiny — go/parser, go/ast, go/token and
 // go/types only, no golang.org/x/tools — and supports per-line
@@ -76,9 +83,9 @@ type Analyzer struct {
 	Run  func(p *Pass)
 }
 
-// All returns the six project analyzers in stable order.
+// All returns the project analyzers, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoRand, NoPrint, FloatCmp, GoDiscipline, ErrCheck, CtxFirst}
+	return []*Analyzer{NoRand, NoPrint, FloatCmp, GoDiscipline, ErrCheck, CtxFirst, PoolDiscipline, LockSafe, DetOrder}
 }
 
 // ByName resolves a comma-separated analyzer list; unknown names error.
@@ -102,12 +109,26 @@ func ByName(names string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// RunResult separates the diagnostics that survived suppression from the
+// ones a //lint:ignore directive silenced, so callers (the -json report,
+// the waiver budget) can account for both.
+type RunResult struct {
+	Diagnostics []Diagnostic
+	Suppressed  []Diagnostic
+}
+
 // Run applies the analyzers to one loaded package and returns the
 // surviving diagnostics (suppressions applied) sorted by position.
 func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunPackage(pkg, analyzers).Diagnostics
+}
+
+// RunPackage applies the analyzers to one loaded package and returns both
+// the surviving and the suppressed diagnostics, each sorted by position.
+func RunPackage(pkg *Package, analyzers []*Analyzer) RunResult {
 	sup := collectSuppressions(pkg.Fset, pkg.Files)
-	var diags []Diagnostic
-	diags = append(diags, sup.malformed...)
+	var res RunResult
+	res.Diagnostics = append(res.Diagnostics, sup.meta...)
 	for _, a := range analyzers {
 		pass := &Pass{
 			Fset:     pkg.Fset,
@@ -120,11 +141,19 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		a.Run(pass)
 		for _, d := range pass.diags {
-			if !sup.suppresses(a.Name, d.Pos) {
-				diags = append(diags, d)
+			if sup.suppresses(a.Name, d.Pos) {
+				res.Suppressed = append(res.Suppressed, d)
+			} else {
+				res.Diagnostics = append(res.Diagnostics, d)
 			}
 		}
 	}
+	sortDiagnostics(res.Diagnostics)
+	sortDiagnostics(res.Suppressed)
+	return res
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -138,7 +167,6 @@ func Run(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // pathHasSuffix reports whether an import path ends with the given

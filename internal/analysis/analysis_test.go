@@ -26,6 +26,9 @@ var goldenCases = []struct {
 	{GoDiscipline, []string{"testdata/src/godiscipline", "testdata/src/internal/parallel"}},
 	{ErrCheck, []string{"testdata/src/errcheck"}},
 	{CtxFirst, []string{"testdata/src/ctxfirst"}},
+	{PoolDiscipline, []string{"testdata/src/pooldiscipline"}},
+	{LockSafe, []string{"testdata/src/locksafe"}},
+	{DetOrder, []string{"testdata/src/detorder"}},
 }
 
 func TestAnalyzersGolden(t *testing.T) {
@@ -129,8 +132,8 @@ func TestSuppressionRequiresReason(t *testing.T) {
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
 	two, err := ByName("norand, errcheck")
 	if err != nil || len(two) != 2 || two[0] != NoRand || two[1] != ErrCheck {

@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -155,6 +157,9 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		if !buildConstraintSatisfied(f) {
+			continue
+		}
 		byPkg[f.Name.Name] = append(byPkg[f.Name.Name], f)
 	}
 	importPath, err := importPathFor(dir)
@@ -178,6 +183,35 @@ func (l *Loader) loadDir(dir string) ([]*Package, error) {
 		pkgs = append(pkgs, l.check(path, name, dir, byPkg[name]))
 	}
 	return pkgs, nil
+}
+
+// buildConstraintSatisfied evaluates a file's //go:build line against the
+// host platform with every other tag (race, integration, ...) off —
+// matching what a default `go build` would select. Without this, a
+// build-tag pair like testutil's race_on.go/race_off.go type-checks as
+// one unit and reports a bogus redeclaration.
+func buildConstraintSatisfied(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				// An unparseable constraint: include the file and let the
+				// type checker complain if it truly conflicts.
+				return true
+			}
+			return expr.Eval(func(tag string) bool {
+				return tag == runtime.GOOS || tag == runtime.GOARCH ||
+					tag == "gc" || strings.HasPrefix(tag, "go1")
+			})
+		}
+	}
+	return true
 }
 
 // check type-checks one unit, tolerating type errors.

@@ -1,0 +1,378 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// LockSafe enforces the critical-section hygiene the serving stack's
+// review history demanded twice over. It encodes two invariants:
+//
+//  1. No pointer read from a mutex-guarded field may leave the critical
+//     section alive. Returning (or sending, or handing to a callback)
+//     such a pointer publishes memory that the next lock holder will
+//     mutate — the PR-5 bug, where /result served a live *core.Result
+//     that the session kept appending to. The sanctioned escape hatch is
+//     a deep copy: an expression that flows through a Clone/Copy-style
+//     call is considered detached and is not reported.
+//  2. No blocking operation — channel send/receive, select,
+//     (*sync.WaitGroup).Wait, (*sync.Cond).Wait, time.Sleep, net/http
+//     round trips, or a call through a caller-supplied function value —
+//     may run while a lock is held. Each is a lock-ordering deadlock or a
+//     tail-latency cliff waiting for load.
+//
+// The analysis is lexical and per-function: a region is "locked" from a
+// mu.Lock()/RLock() call to the matching Unlock in the same statement
+// list, or to the end of the function when the Unlock is deferred.
+// Pointer-typed locals bound from guarded fields inside a locked region
+// stay suspect for the rest of the function — releasing the lock does
+// not detach them, copying does.
+var LockSafe = &Analyzer{
+	Name: "locksafe",
+	Doc:  "no guarded pointer escapes its critical section; no blocking call while a lock is held",
+	Run:  runLockSafe,
+}
+
+func runLockSafe(p *Pass) {
+	for _, f := range p.Files {
+		forEachFuncScope(f, func(body *ast.BlockStmt) {
+			checkLockScope(p, body)
+		})
+	}
+}
+
+// lockMethodRoot returns the printed receiver expression ("s.mu") when
+// call is a Lock/Unlock-family method on a sync mutex, together with the
+// method name.
+func lockMethodRoot(p *Pass, call *ast.CallExpr) (root string, guard ast.Expr, method string, ok bool) {
+	fn := callee(p, call)
+	if fn == nil {
+		return "", nil, "", false
+	}
+	switch fn.FullName() {
+	case "(*sync.Mutex).Lock", "(*sync.Mutex).Unlock",
+		"(*sync.RWMutex).Lock", "(*sync.RWMutex).Unlock",
+		"(*sync.RWMutex).RLock", "(*sync.RWMutex).RUnlock":
+	default:
+		return "", nil, "", false
+	}
+	sel, selOk := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return "", nil, "", false
+	}
+	// The guard is the struct holding the mutex: for s.mu.Lock() it is s,
+	// for a plain local mu.Lock() there is none.
+	if inner, innerOk := ast.Unparen(sel.X).(*ast.SelectorExpr); innerOk {
+		guard = inner.X
+	}
+	return types.ExprString(sel.X), guard, fn.Name(), true
+}
+
+func isLockAcquire(method string) bool { return method == "Lock" || method == "RLock" }
+
+// lockScopeState tracks one function's walk.
+type lockScopeState struct {
+	held       map[string]int  // lock root -> acquisition depth
+	deferred   map[string]bool // lock root -> deferred Unlock registered
+	guardRoots map[*types.Var]bool
+	tainted    map[*types.Var]bool
+}
+
+// anyHeld reports whether any lock is currently held, naming the
+// lexicographically smallest root so diagnostics stay deterministic when
+// several locks are held at once.
+func (st *lockScopeState) anyHeld() (string, bool) {
+	best, found := "", false
+	for root, n := range st.held {
+		if n > 0 && (!found || root < best) {
+			best, found = root, true
+		}
+	}
+	for root, d := range st.deferred {
+		if d && (!found || root < best) {
+			best, found = root, true
+		}
+	}
+	return best, found
+}
+
+func checkLockScope(p *Pass, body *ast.BlockStmt) {
+	st := &lockScopeState{
+		held:       map[string]int{},
+		deferred:   map[string]bool{},
+		guardRoots: map[*types.Var]bool{},
+		tainted:    map[*types.Var]bool{},
+	}
+	walkLockStmts(p, body.List, st)
+}
+
+func walkLockStmts(p *Pass, stmts []ast.Stmt, st *lockScopeState) {
+	for _, s := range stmts {
+		walkLockStmt(p, s, st)
+	}
+}
+
+func walkLockStmt(p *Pass, s ast.Stmt, st *lockScopeState) {
+	switch n := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+			if root, guard, method, ok := lockMethodRoot(p, call); ok {
+				if isLockAcquire(method) {
+					st.held[root]++
+					if g := guardVar(p, guard); g != nil {
+						st.guardRoots[g] = true
+					}
+				} else if st.held[root] > 0 {
+					st.held[root]--
+				}
+				return
+			}
+		}
+		checkLockedStmt(p, n, st)
+	case *ast.DeferStmt:
+		if root, _, method, ok := lockMethodRoot(p, n.Call); ok && !isLockAcquire(method) {
+			st.deferred[root] = true
+			if st.held[root] > 0 {
+				st.held[root]--
+			}
+			return
+		}
+		// A deferred call is not part of the locked region's straight-line
+		// execution; skip its blocking analysis.
+	case *ast.AssignStmt:
+		recordGuardedReads(p, n, st)
+		checkLockedStmt(p, n, st)
+	case *ast.ReturnStmt:
+		checkLockedReturn(p, n, st)
+	case *ast.BlockStmt:
+		walkLockStmts(p, n.List, st)
+	case *ast.IfStmt:
+		if n.Init != nil {
+			walkLockStmt(p, n.Init, st)
+		}
+		checkLockedExpr(p, n.Cond, st)
+		walkLockStmts(p, n.Body.List, st)
+		if n.Else != nil {
+			walkLockStmt(p, n.Else, st)
+		}
+	case *ast.ForStmt:
+		walkLockStmts(p, n.Body.List, st)
+	case *ast.RangeStmt:
+		walkLockStmts(p, n.Body.List, st)
+	case *ast.SwitchStmt:
+		walkLockBranches(p, n.Body.List, st)
+	case *ast.TypeSwitchStmt:
+		walkLockBranches(p, n.Body.List, st)
+	case *ast.SelectStmt:
+		if _, held := st.anyHeld(); held {
+			root, _ := st.anyHeld()
+			p.Reportf(n.Pos(), "select while %s is held blocks the critical section: move the channel operation outside the lock, or //lint:ignore locksafe <reason>", root)
+		}
+		walkLockBranches(p, n.Body.List, st)
+	case *ast.SendStmt:
+		if root, held := st.anyHeld(); held {
+			p.Reportf(n.Pos(), "channel send while %s is held blocks the critical section: move it outside the lock, or //lint:ignore locksafe <reason>", root)
+		} else if tv := taintRoot(p, n.Value, st.tainted); tv != nil {
+			p.Reportf(n.Pos(), "guarded pointer %s sent over a channel after the lock was released: the receiver sees live, still-mutating state; send a Clone, or //lint:ignore locksafe <reason>", tv.Name())
+		}
+	case *ast.LabeledStmt:
+		walkLockStmt(p, n.Stmt, st)
+	case *ast.GoStmt:
+		// The goroutine body runs outside this lock region.
+	default:
+		checkLockedStmt(p, s, st)
+	}
+}
+
+func walkLockBranches(p *Pass, clauses []ast.Stmt, st *lockScopeState) {
+	for _, c := range clauses {
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			walkLockStmts(p, cc.Body, st)
+		case *ast.CommClause:
+			walkLockStmts(p, cc.Body, st)
+		}
+	}
+}
+
+func guardVar(p *Pass, e ast.Expr) *types.Var {
+	if e == nil {
+		return nil
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := p.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// recordGuardedReads taints locals bound from pointer-like guarded-field
+// reads while a lock on that guard is in effect.
+func recordGuardedReads(p *Pass, n *ast.AssignStmt, st *lockScopeState) {
+	if _, held := st.anyHeld(); !held {
+		return
+	}
+	for i, lhs := range n.Lhs {
+		var rhs ast.Expr
+		switch {
+		case len(n.Rhs) == len(n.Lhs):
+			rhs = n.Rhs[i]
+		case len(n.Rhs) == 1:
+			rhs = n.Rhs[0]
+		default:
+			continue
+		}
+		if !isGuardedFieldChain(p, rhs, st) {
+			continue
+		}
+		lv := lhsVar(p, lhs)
+		if lv == nil || !isPointerLike(lv.Type()) {
+			continue
+		}
+		st.tainted[lv] = true
+	}
+}
+
+// isGuardedFieldChain reports whether e is a field read (possibly through
+// map/slice indexing) rooted at a variable whose mutex has been locked in
+// this function.
+func isGuardedFieldChain(p *Pass, e ast.Expr, st *lockScopeState) bool {
+	derived := false
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj, ok := p.Info.Uses[x].(*types.Var)
+			return ok && derived && st.guardRoots[obj]
+		case *ast.SelectorExpr:
+			e, derived = x.X, true
+		case *ast.IndexExpr:
+			e, derived = x.X, true
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// isPointerLike reports types through which a later mutation under the
+// lock remains visible to the holder of the value.
+func isPointerLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// checkLockedReturn reports returns that publish guarded pointers: a
+// tainted local, or a direct pointer-like field chain off a guard while
+// its lock is (still) held. An expression routed through any call —
+// Clone, CloneVec, a constructor — is considered detached.
+func checkLockedReturn(p *Pass, n *ast.ReturnStmt, st *lockScopeState) {
+	for _, res := range n.Results {
+		if tv := taintRoot(p, res, st.tainted); tv != nil {
+			if t := p.Info.TypeOf(res); isPointerLike(t) {
+				p.Reportf(n.Pos(), "guarded pointer %s returned from the critical section: the caller sees live, still-mutating state; return a Clone/deep copy, or //lint:ignore locksafe <reason>", tv.Name())
+				continue
+			}
+		}
+		if _, held := st.anyHeld(); held && isGuardedFieldChain(p, res, st) {
+			if t := p.Info.TypeOf(res); isPointerLike(t) {
+				p.Reportf(n.Pos(), "guarded field returned while its lock is held: the caller sees live, still-mutating state; return a Clone/deep copy, or //lint:ignore locksafe <reason>")
+			}
+		}
+	}
+}
+
+// checkLockedStmt scans a statement's expressions for blocking operations
+// made while any lock is held.
+func checkLockedStmt(p *Pass, s ast.Stmt, st *lockScopeState) {
+	root, held := st.anyHeld()
+	if !held {
+		return
+	}
+	ast.Inspect(s, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				p.Reportf(x.Pos(), "channel receive while %s is held blocks the critical section: move it outside the lock, or //lint:ignore locksafe <reason>", root)
+			}
+		case *ast.CallExpr:
+			reportBlockingCall(p, x, root)
+		}
+		return true
+	})
+}
+
+func checkLockedExpr(p *Pass, e ast.Expr, st *lockScopeState) {
+	if e == nil {
+		return
+	}
+	root, held := st.anyHeld()
+	if !held {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			reportBlockingCall(p, call, root)
+		}
+		return true
+	})
+}
+
+func reportBlockingCall(p *Pass, call *ast.CallExpr, root string) {
+	if fn := callee(p, call); fn != nil {
+		blocking := false
+		switch fn.FullName() {
+		case "(*sync.WaitGroup).Wait", "(*sync.Cond).Wait", "time.Sleep":
+			blocking = true
+		}
+		if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "net/http" {
+			blocking = true
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if named, ok := types.Unalias(sig.Recv().Type()).(*types.Pointer); ok {
+				if nt, ok := named.Elem().(*types.Named); ok && nt.Obj().Pkg() != nil && nt.Obj().Pkg().Path() == "net/http" {
+					blocking = true
+				}
+			}
+		}
+		if blocking {
+			p.Reportf(call.Pos(), "blocking call %s while %s is held: it stalls every other goroutine contending for the lock; move it outside, or //lint:ignore locksafe <reason>", fn.FullName(), root)
+		}
+		return
+	}
+	// Dynamic call through a function value: the callee is opaque and may
+	// block or re-enter the lock. Method values and interface methods are
+	// resolved by callee() above, so this catches caller-supplied
+	// callbacks specifically.
+	fun := ast.Unparen(call.Fun)
+	var id *ast.Ident
+	switch e := fun.(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return
+	}
+	if v, ok := p.Info.Uses[id].(*types.Var); ok {
+		if _, isFunc := v.Type().Underlying().(*types.Signature); isFunc {
+			p.Reportf(call.Pos(), "callback %s invoked while %s is held: an opaque function value may block or re-enter the lock; call it after unlocking, or //lint:ignore locksafe <reason>", v.Name(), root)
+		}
+	}
+}

@@ -1,0 +1,510 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PoolDiscipline enforces the workspace-pool ownership rules the hot
+// path's zero-allocation design depends on (DESIGN.md §9): a value taken
+// from a sync.Pool is owned by the acquiring function only. Concretely,
+// inside any one function that calls (*sync.Pool).Get — or an acquire
+// helper that wraps one —
+//
+//  1. the pooled value must be Put back on every return path (a deferred
+//     Put, or an explicit Put that dominates each return), and
+//  2. neither the pooled value nor anything derived from it (a field, an
+//     element, a subslice) may escape: not via a return statement, not by
+//     assignment to state that outlives the call (a receiver or
+//     package-level field), not over a channel.
+//
+// Rule 2 is the PR-3 bug class made mechanical: PredictWithGrad
+// originally returned gradient slices that aliased a pooled workspace,
+// so two concurrent predictions silently corrupted each other once the
+// pool recycled it. The only sanctioned exception is a dedicated acquire
+// helper (grabGradScratch and friends) whose entire job is to hand the
+// pooled value to its caller — such helpers carry a reasoned
+// //lint:ignore pooldiscipline directive on the escaping return, and the
+// analyzer then holds their callers to rule 1.
+var PoolDiscipline = &Analyzer{
+	Name: "pooldiscipline",
+	Doc:  "sync.Pool values are Put on every return path and never escape the acquiring function",
+	Run:  runPoolDiscipline,
+}
+
+func runPoolDiscipline(p *Pass) {
+	helpers := poolAcquireHelpers(p)
+	for _, f := range p.Files {
+		forEachFuncScope(f, func(body *ast.BlockStmt) {
+			checkPoolScope(p, body, helpers)
+		})
+	}
+}
+
+// forEachFuncScope visits every function body in the file — declarations
+// and literals — exactly once each, treating nested literals as scopes of
+// their own (a Get in a closure must be balanced in that closure).
+func forEachFuncScope(f *ast.File, visit func(*ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Body)
+			}
+		case *ast.FuncLit:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// scopeStmts walks the statements of a function body without descending
+// into nested function literals.
+func scopeStmts(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	for _, st := range body.List {
+		ast.Inspect(st, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			return visit(n)
+		})
+	}
+}
+
+// isPoolMethod reports whether the call invokes (*sync.Pool).<name>.
+func isPoolMethod(p *Pass, call *ast.CallExpr, name string) bool {
+	fn := callee(p, call)
+	return fn != nil && fn.FullName() == "(*sync.Pool)."+name
+}
+
+// poolGetVar returns the variable bound by an assignment of the form
+// v := pool.Get() or v := pool.Get().(T), or nil.
+func poolGetVar(p *Pass, st *ast.AssignStmt) *types.Var {
+	if len(st.Lhs) != 1 || len(st.Rhs) != 1 {
+		return nil
+	}
+	rhs := ast.Unparen(st.Rhs[0])
+	if ta, ok := rhs.(*ast.TypeAssertExpr); ok {
+		rhs = ast.Unparen(ta.X)
+	}
+	call, ok := rhs.(*ast.CallExpr)
+	if !ok || !isPoolMethod(p, call, "Get") {
+		return nil
+	}
+	return lhsVar(p, st.Lhs[0])
+}
+
+func lhsVar(p *Pass, e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := p.Info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.Info.Uses[id].(*types.Var)
+	return v
+}
+
+// poolAcquireHelpers pre-scans the package for functions whose return
+// statements hand out a pool-obtained value: their callers then owe the
+// Put. Detection is purely syntactic over each declaration body.
+func poolAcquireHelpers(p *Pass) map[*types.Func]bool {
+	helpers := map[*types.Func]bool{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			var pooled []*types.Var
+			scopeStmts(fd.Body, func(n ast.Node) bool {
+				if st, ok := n.(*ast.AssignStmt); ok {
+					if v := poolGetVar(p, st); v != nil {
+						pooled = append(pooled, v)
+					}
+				}
+				return true
+			})
+			if len(pooled) == 0 {
+				continue
+			}
+			escapes := false
+			scopeStmts(fd.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					for _, v := range pooled {
+						if exprRootedAt(p, res, v) {
+							escapes = true
+						}
+					}
+				}
+				return true
+			})
+			if !escapes {
+				continue
+			}
+			if fn, ok := p.Info.Defs[fd.Name].(*types.Func); ok {
+				helpers[fn] = true
+			}
+		}
+	}
+	return helpers
+}
+
+// exprRootedAt reports whether e is the variable v or a value derived
+// from it by selection, indexing, slicing or dereference — the aliasing
+// chains through which pooled memory leaks. A call expression blocks the
+// chain: its result is presumed a fresh value (mat.CloneVec and friends).
+func exprRootedAt(p *Pass, e ast.Expr, v *types.Var) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			obj, ok := p.Info.Uses[x].(*types.Var)
+			return ok && obj == v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+// poolAcquisition is one tracked pooled value within a function scope.
+type poolAcquisition struct {
+	v      *types.Var
+	assign *ast.AssignStmt
+	how    string // "(*sync.Pool).Get" or the acquire helper's name
+}
+
+// checkPoolScope enforces both rules for every acquisition in one
+// function body.
+func checkPoolScope(p *Pass, body *ast.BlockStmt, helpers map[*types.Func]bool) {
+	var acqs []poolAcquisition
+	scopeStmts(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if v := poolGetVar(p, st); v != nil {
+			acqs = append(acqs, poolAcquisition{v: v, assign: st, how: "(*sync.Pool).Get"})
+			return true
+		}
+		if len(st.Lhs) >= 1 && len(st.Rhs) == 1 {
+			if call, ok := ast.Unparen(st.Rhs[0]).(*ast.CallExpr); ok {
+				if fn := callee(p, call); fn != nil && helpers[fn] {
+					if v := lhsVar(p, st.Lhs[0]); v != nil {
+						acqs = append(acqs, poolAcquisition{v: v, assign: st, how: fn.Name()})
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, acq := range acqs {
+		checkPoolAcquisition(p, body, acq)
+	}
+}
+
+func checkPoolAcquisition(p *Pass, body *ast.BlockStmt, acq poolAcquisition) {
+	tainted := taintedVars(p, body, acq.v)
+	returnEscape := false
+	scopeStmts(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.ReturnStmt:
+			if st.Pos() <= acq.assign.Pos() {
+				return true
+			}
+			for _, res := range st.Results {
+				if root := taintRoot(p, res, tainted); root != nil {
+					returnEscape = true
+					p.Reportf(st.Pos(), "pooled value %s (from %s) escapes via return: the pool may hand it to another goroutine; copy it, or //lint:ignore pooldiscipline <reason>", root.Name(), acq.how)
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range st.Lhs {
+				if i >= len(st.Rhs) && len(st.Rhs) != 1 {
+					break
+				}
+				rhs := st.Rhs[0]
+				if len(st.Rhs) == len(st.Lhs) {
+					rhs = st.Rhs[i]
+				}
+				root := taintRoot(p, rhs, tainted)
+				if root == nil {
+					continue
+				}
+				if outlivesCall(p, body, lhs) {
+					p.Reportf(st.Pos(), "pooled value %s (from %s) stored in state that outlives the call: copy it before storing, or //lint:ignore pooldiscipline <reason>", root.Name(), acq.how)
+				}
+			}
+		case *ast.SendStmt:
+			if root := taintRoot(p, st.Value, tainted); root != nil {
+				p.Reportf(st.Pos(), "pooled value %s (from %s) sent over a channel: the receiver outlives the Put; copy it, or //lint:ignore pooldiscipline <reason>", root.Name(), acq.how)
+			}
+		}
+		return true
+	})
+	if returnEscape {
+		// Ownership was (perhaps deliberately — acquire helpers) handed to
+		// the caller; demanding a local Put on top would be contradictory.
+		return
+	}
+	walkPutPaths(p, body, acq)
+}
+
+// taintedVars returns the set containing v and every local bound directly
+// from a v-rooted expression (u := ws.u and the like). One hop of
+// propagation matches how the hot path actually aliases workspaces.
+func taintedVars(p *Pass, body *ast.BlockStmt, v *types.Var) map[*types.Var]bool {
+	tainted := map[*types.Var]bool{v: true}
+	scopeStmts(body, func(n ast.Node) bool {
+		st, ok := n.(*ast.AssignStmt)
+		if !ok || len(st.Lhs) != len(st.Rhs) {
+			return true
+		}
+		for i, rhs := range st.Rhs {
+			root := taintRoot(p, rhs, tainted)
+			if root == nil {
+				continue
+			}
+			if lv := lhsVar(p, st.Lhs[i]); lv != nil && lv != root {
+				tainted[lv] = true
+			}
+		}
+		return true
+	})
+	return tainted
+}
+
+// taintRoot returns the tainted variable e derives from, or nil.
+func taintRoot(p *Pass, e ast.Expr, tainted map[*types.Var]bool) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if obj, ok := p.Info.Uses[x].(*types.Var); ok && tainted[obj] {
+				return obj
+			}
+			return nil
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// outlivesCall reports whether the assignment target lhs names storage
+// that survives the function call: a field or element of anything other
+// than a local variable declared in this function body.
+func outlivesCall(p *Pass, body *ast.BlockStmt, lhs ast.Expr) bool {
+	base := lhs
+	derived := false
+	for {
+		switch x := base.(type) {
+		case *ast.SelectorExpr:
+			base, derived = x.X, true
+			continue
+		case *ast.IndexExpr:
+			base, derived = x.X, true
+			continue
+		case *ast.StarExpr:
+			base, derived = x.X, true
+			continue
+		case *ast.ParenExpr:
+			base = x.X
+			continue
+		}
+		break
+	}
+	id, ok := base.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, ok := p.Info.Uses[id].(*types.Var)
+	if !ok {
+		return false
+	}
+	if !derived {
+		// Rebinding a local identifier is not an escape.
+		return false
+	}
+	// Field/element write: escapes unless the base is itself a local of
+	// this function body (a scratch struct assembled and returned fresh is
+	// caught by the return check instead).
+	return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+}
+
+// poolState is the per-path lifecycle of one acquisition.
+type poolState int
+
+const (
+	poolNotHeld  poolState = iota // before the Get on this path
+	poolReleased                  // Put (or deferred Put) has happened
+	poolHeld                      // Get seen, Put still owed
+)
+
+func mergePoolState(a, b poolState) poolState {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// walkPutPaths runs a small path-sensitive walk over the statement tree:
+// every return reached while the acquisition is held, and a body that
+// falls off its end still holding, is reported. Deferred Puts release
+// from their registration point onward — a return before the defer
+// statement is still a leak.
+func walkPutPaths(p *Pass, body *ast.BlockStmt, acq poolAcquisition) {
+	end, terminated := walkPoolStmts(p, body.List, poolNotHeld, acq)
+	if end == poolHeld && !terminated {
+		p.Reportf(acq.assign.Pos(), "pooled value %s (from %s) is never Put back: every path out of the function must release it, or //lint:ignore pooldiscipline <reason>", acq.v.Name(), acq.how)
+	}
+}
+
+// walkPoolStmts walks one statement list and returns the state at its
+// end plus whether the list definitely terminates (return/branch) before
+// falling through.
+func walkPoolStmts(p *Pass, stmts []ast.Stmt, state poolState, acq poolAcquisition) (poolState, bool) {
+	for _, st := range stmts {
+		var terminated bool
+		state, terminated = walkPoolStmt(p, st, state, acq)
+		if terminated {
+			return state, true
+		}
+	}
+	return state, false
+}
+
+func walkPoolStmt(p *Pass, st ast.Stmt, state poolState, acq poolAcquisition) (poolState, bool) {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		if s == acq.assign {
+			return poolHeld, false
+		}
+		return state, false
+	case *ast.ExprStmt:
+		if isPutOf(p, s.X, acq.v) {
+			return poolReleased, false
+		}
+		return state, false
+	case *ast.DeferStmt:
+		if isPutCall(p, s.Call, acq.v) {
+			return poolReleased, false
+		}
+		return state, false
+	case *ast.ReturnStmt:
+		if state == poolHeld {
+			p.Reportf(s.Pos(), "return while pooled value %s (from %s) is still checked out: Put it on this path or defer the Put, or //lint:ignore pooldiscipline <reason>", acq.v.Name(), acq.how)
+		}
+		return state, true
+	case *ast.BranchStmt:
+		return state, true
+	case *ast.BlockStmt:
+		return walkPoolStmts(p, s.List, state, acq)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			state, _ = walkPoolStmt(p, s.Init, state, acq)
+		}
+		thenState, thenTerm := walkPoolStmts(p, s.Body.List, state, acq)
+		elseState, elseTerm := state, false
+		if s.Else != nil {
+			elseState, elseTerm = walkPoolStmt(p, s.Else, state, acq)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return state, true
+		case thenTerm:
+			return elseState, false
+		case elseTerm:
+			return thenState, false
+		default:
+			return mergePoolState(thenState, elseState), false
+		}
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return walkPoolBranches(p, s, state, acq), false
+	case *ast.ForStmt:
+		walkPoolStmts(p, s.Body.List, state, acq)
+		return state, false
+	case *ast.RangeStmt:
+		walkPoolStmts(p, s.Body.List, state, acq)
+		return state, false
+	case *ast.LabeledStmt:
+		return walkPoolStmt(p, s.Stmt, state, acq)
+	default:
+		return state, false
+	}
+}
+
+// walkPoolBranches merges switch/select clause bodies conservatively: the
+// after-state is the worst of the incoming state and every clause's end
+// state (clauses that terminate contribute nothing).
+func walkPoolBranches(p *Pass, st ast.Stmt, state poolState, acq poolAcquisition) poolState {
+	merged := state
+	var clauses []ast.Stmt
+	switch s := st.(type) {
+	case *ast.SwitchStmt:
+		clauses = s.Body.List
+	case *ast.TypeSwitchStmt:
+		clauses = s.Body.List
+	case *ast.SelectStmt:
+		clauses = s.Body.List
+	}
+	for _, c := range clauses {
+		var body []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			body = cc.Body
+		case *ast.CommClause:
+			body = cc.Body
+		}
+		if end, term := walkPoolStmts(p, body, state, acq); !term {
+			merged = mergePoolState(merged, end)
+		}
+	}
+	return merged
+}
+
+func isPutOf(p *Pass, e ast.Expr, v *types.Var) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && isPutCall(p, call, v)
+}
+
+// isPutCall reports whether call is pool.Put(v) for any sync.Pool — an
+// acquire helper's caller Puts to the helper's pool, so the pool identity
+// is deliberately not matched, only the value.
+func isPutCall(p *Pass, call *ast.CallExpr, v *types.Var) bool {
+	if !isPoolMethod(p, call, "Put") || len(call.Args) != 1 {
+		return false
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj, _ := p.Info.Uses[id].(*types.Var)
+	return obj == v
+}

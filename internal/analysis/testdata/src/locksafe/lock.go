@@ -1,0 +1,97 @@
+// Package locksafe is a pbolint fixture: pointers read from
+// mutex-guarded fields must not leave the critical section alive, and no
+// blocking call may run while the lock is held; one deliberate live
+// borrow carries a reasoned suppression.
+package locksafe
+
+import "sync"
+
+// Item is the guarded record.
+type Item struct{ N int }
+
+// Clone returns a detached copy.
+func (it *Item) Clone() *Item { c := *it; return &c }
+
+// Registry guards its map and current pointer with mu.
+type Registry struct {
+	mu    sync.Mutex
+	items map[string]*Item
+	cur   *Item
+	ch    chan *Item
+	wg    sync.WaitGroup
+}
+
+// GetLive returns a live guarded pointer — reported.
+func (r *Registry) GetLive(id string) *Item {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it := r.items[id]
+	return it
+}
+
+// Current returns the guarded field itself while holding the lock —
+// reported.
+func (r *Registry) Current() *Item {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cur
+}
+
+// AfterUnlock releases first, but the pointer is still live state —
+// reported.
+func (r *Registry) AfterUnlock(id string) *Item {
+	r.mu.Lock()
+	it := r.items[id]
+	r.mu.Unlock()
+	return it
+}
+
+// SendLive publishes the guarded pointer over a channel — reported.
+func (r *Registry) SendLive(id string) {
+	r.mu.Lock()
+	it := r.items[id]
+	r.mu.Unlock()
+	r.ch <- it
+}
+
+// WaitUnderLock blocks twice while holding the lock — both reported.
+func (r *Registry) WaitUnderLock() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.wg.Wait()
+	r.ch <- nil
+}
+
+// CallbackUnderLock invokes an opaque callback under the lock — reported.
+func (r *Registry) CallbackUnderLock(fn func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fn()
+}
+
+// Snapshot returns a detached copy — silent.
+func (r *Registry) Snapshot(id string) *Item {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.items[id].Clone()
+}
+
+// Count returns a value copy — silent.
+func (r *Registry) Count(id string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it := r.items[id]
+	if it == nil {
+		return 0
+	}
+	return it.N
+}
+
+// Borrow is a sanctioned short-lived live reference — suppressed.
+func (r *Registry) Borrow(id string) *Item {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	it := r.items[id]
+	//lint:ignore locksafe fixture: caller drops the reference before the next Tell
+	return it
+}

@@ -1,0 +1,92 @@
+// Package pooldiscipline is a pbolint fixture: sync.Pool values must be
+// Put back on every return path and must not escape the acquiring
+// function; the one sanctioned acquire helper carries a reasoned
+// suppression on its escaping return, and its callers owe the Put.
+package pooldiscipline
+
+import "sync"
+
+var scratch = sync.Pool{New: func() any { return new(ws) }}
+
+// ws is a pooled workspace.
+type ws struct{ buf []float64 }
+
+// holder outlives any single call.
+type holder struct{ last *ws }
+
+// LeakOnError returns early without a Put — reported at the return.
+func LeakOnError(n int) int {
+	w := scratch.Get().(*ws)
+	if n < 0 {
+		return 0
+	}
+	scratch.Put(w)
+	return n
+}
+
+// NeverPut falls off the end still holding — reported at the Get.
+func NeverPut() {
+	w := scratch.Get().(*ws)
+	w.buf = w.buf[:0]
+}
+
+// Escape hands out a slice aliasing the pooled workspace — reported.
+func Escape(n int) []float64 {
+	w := scratch.Get().(*ws)
+	defer scratch.Put(w)
+	return w.buf[:n]
+}
+
+// Stash parks the pooled workspace on long-lived state — reported.
+func Stash(h *holder) {
+	w := scratch.Get().(*ws)
+	h.last = w
+	scratch.Put(w)
+}
+
+// Publish sends the pooled workspace to another goroutine — reported.
+func Publish(ch chan *ws) {
+	w := scratch.Get().(*ws)
+	ch <- w
+	scratch.Put(w)
+}
+
+// grab is the sanctioned acquire-helper shape: the escaping return
+// carries a reasoned waiver, and callers owe the Put instead.
+func grab() *ws {
+	w := scratch.Get().(*ws)
+	//lint:ignore pooldiscipline fixture: acquire helper hands ownership to the caller
+	return w
+}
+
+// UseGrabLeak takes from the acquire helper and never Puts — reported.
+func UseGrabLeak() int {
+	w := grab()
+	return len(w.buf)
+}
+
+// UseGrabClean Puts what the helper handed out — silent.
+func UseGrabClean() int {
+	w := grab()
+	n := len(w.buf)
+	scratch.Put(w)
+	return n
+}
+
+// CleanDefer is the canonical shape — silent.
+func CleanDefer() int {
+	w := scratch.Get().(*ws)
+	defer scratch.Put(w)
+	return cap(w.buf)
+}
+
+// CleanBranches Puts on both arms before returning — silent.
+func CleanBranches(n int) int {
+	w := scratch.Get().(*ws)
+	if n > 0 {
+		scratch.Put(w)
+		return n
+	}
+	scratch.Put(w)
+	return 0
+}

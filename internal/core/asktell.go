@@ -125,8 +125,9 @@ func NewAskTell(e *Engine) (*AskTell, error) {
 		acqStream:    master.Split(2),
 		jitterStream: master.Split(3),
 		fitStream:    master.Split(4),
-		now:          time.Now,
-		pending:      map[int]*pendingBatch{},
+		//lint:ignore detorder sanctioned default for the injectable clock seam; tests swap it out
+		now:     time.Now,
+		pending: map[int]*pendingBatch{},
 		res: &Result{
 			Problem:  cfg.Problem.Name,
 			Strategy: cfg.Strategy.Name(),
@@ -746,14 +747,15 @@ func ResumeAskTell(e *Engine, c *Checkpoint) (*AskTell, error) {
 		acqStream:    acqStream,
 		jitterStream: jitterStream,
 		fitStream:    fitStream,
-		now:          time.Now,
-		design:       cloneMatrix(c.Design),
-		designAsked:  c.DesignAsked,
-		designTold:   c.DesignTold,
-		cycle:        c.Cycle,
-		recorded:     c.Recorded,
-		nextID:       c.NextID,
-		pending:      map[int]*pendingBatch{},
+		//lint:ignore detorder sanctioned default for the injectable clock seam; tests swap it out
+		now:         time.Now,
+		design:      cloneMatrix(c.Design),
+		designAsked: c.DesignAsked,
+		designTold:  c.DesignTold,
+		cycle:       c.Cycle,
+		recorded:    c.Recorded,
+		nextID:      c.NextID,
+		pending:     map[int]*pendingBatch{},
 		res: &Result{
 			Problem:   cfg.Problem.Name,
 			Strategy:  cfg.Strategy.Name(),

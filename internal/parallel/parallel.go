@@ -83,6 +83,7 @@ func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (Bat
 	if q == 0 {
 		panic("parallel: empty batch")
 	}
+	//lint:ignore detorder measured wall time is reported, never replayed; Virtual drives scheduling
 	start := time.Now()
 	ys := make([]float64, q)
 	costs := make([]time.Duration, q)
@@ -123,6 +124,7 @@ func (p *Pool) EvalBatch(ctx context.Context, ev Evaluator, xs [][]float64) (Bat
 		}
 	}
 
+	//lint:ignore detorder measured wall time is reported, never replayed; Virtual drives scheduling
 	return BatchResult{Y: ys, Costs: costs, Virtual: p.VirtualDuration(costs), Real: time.Since(start)}, nil
 }
 

@@ -183,6 +183,7 @@ func (s *Server) get(id string) (*entry, bool) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	e, ok := s.sessions[id]
+	//lint:ignore locksafe two-level locking: s.mu guards only the map; Session synchronizes itself and spec is immutable
 	return e, ok
 }
 

@@ -34,7 +34,24 @@ echo "== go build ./..."
 go build ./...
 
 echo "== pbolint ./..."
+go run ./cmd/pbolint -json ./... > pbolint_report.json
 go run ./cmd/pbolint ./...
+
+echo "== pbolint suppression budget"
+# The waiver surface may only shrink without a deliberate budget bump:
+# every //lint:ignore directive is inventoried, and the count is held
+# against the checked-in baseline. Growing it means editing
+# scripts/lint_budget.txt in the same change, with the new waiver's
+# reason in the diff.
+budget=$(cat scripts/lint_budget.txt)
+live=$(go run ./cmd/pbolint -suppressions ./... | wc -l | tr -d ' ')
+if [ "$live" -gt "$budget" ]; then
+    echo "pbolint: $live suppressions exceed the budget of $budget;" >&2
+    echo "  fix the findings or bump scripts/lint_budget.txt deliberately" >&2
+    go run ./cmd/pbolint -suppressions ./... >&2
+    exit 1
+fi
+echo "suppressions: $live of $budget budgeted"
 
 echo "== go test -race ./..."
 go test -race ./...
