@@ -496,7 +496,8 @@ func (e *Ensemble) PredictJoint(xs [][]float64) (*surrogate.JointPrediction, err
 	if err != nil {
 		return nil, fmt.Errorf("bnn: joint covariance not PD: %w", err)
 	}
-	return &surrogate.JointPrediction{Mean: mean, CovChol: ch.L().Clone()}, nil
+	// L materializes a fresh matrix on the packed factor — no Clone needed.
+	return &surrogate.JointPrediction{Mean: mean, CovChol: ch.L()}, nil
 }
 
 // Fantasize implements surrogate.Surrogate. A deep ensemble has no

@@ -41,6 +41,37 @@ func TestPredictAllocs(t *testing.T) {
 	}
 }
 
+// TestFitObjectiveAllocs pins the pooled fit workspace: once a workspace
+// has been sized for a data set, evaluating the LML objective through it
+// must not touch the heap. Every L-BFGS iteration of every restart pays
+// this cost, so a regression here multiplies across the whole fit. The
+// small n keeps both the Gram fill and the gradient trace on their
+// serial branches — the parallel branches allocate goroutine machinery
+// by design and are covered by the bit-identity tests instead.
+func TestFitObjectiveAllocs(t *testing.T) {
+	if testutil.RaceEnabled {
+		t.Skip("allocation counts are perturbed under -race")
+	}
+	X, y, cfg := benchData(64)
+	g, err := Fit(X, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := append([]float64(nil), g.warmParams...)
+	ws := fitWorkspaceFor(g, g.x, len(p))
+	// Warm: the first evaluation settles any lazily grown buffer.
+	if _, _, err := g.logMarginalLikelihood(g.x, g.ys, p, ws); err != nil {
+		t.Fatal(err)
+	}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, _, err := g.logMarginalLikelihood(g.x, g.ys, p, ws); err != nil {
+			t.Fatal(err)
+		}
+	}); got > 0 {
+		t.Fatalf("fit objective allocates %v times per evaluation, want 0", got)
+	}
+}
+
 // TestRFFPredictAllocs holds the RFF feature-space posterior to the same
 // zero-allocation contract as the exact GP.
 func TestRFFPredictAllocs(t *testing.T) {

@@ -1,0 +1,89 @@
+package gp
+
+import (
+	"testing"
+)
+
+// The Fit suite measures the per-iteration cost of hyperparameter
+// optimization — one logMarginalLikelihood evaluation is exactly what
+// every L-BFGS iteration of every restart pays — plus the resident
+// factor footprint at n = 4096. scripts/bench.sh collects these into
+// BENCH_fit.json; the -check gates hold the parallel path to at worst
+// the serial path and the packed factor to well under the dense 2·n²
+// baseline it replaced.
+
+// fitLMLBench builds a fitted GP over n synthetic points plus a probe
+// parameter vector and a sized workspace, mirroring the state
+// optimizeHyper holds during a fit at FitSubsetMax ≥ n. The setup Fit
+// keeps benchData's small FitSubsetMax so the hyperparameter search
+// stays cheap; the timed evaluations below run over all n rows.
+func fitLMLBench(b *testing.B, n int) (*GP, []float64, *fitWorkspace) {
+	b.Helper()
+	X, y, cfg := benchData(n)
+	g, err := Fit(X, y, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := append([]float64(nil), g.warmParams...)
+	ws := fitWorkspaceFor(g, g.x, len(p))
+	return g, p, ws
+}
+
+func benchFitLML(b *testing.B, n int) {
+	g, p, ws := fitLMLBench(b, n)
+	if _, _, err := g.logMarginalLikelihood(g.x, g.ys, p, ws); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.logMarginalLikelihood(g.x, g.ys, p, ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFitLML128 runs entirely on the serial branches (n below both
+// thresholds); its bytes/op pins the pooled-workspace contract at the
+// default FitSubsetMax scale.
+func BenchmarkFitLML128(b *testing.B) { benchFitLML(b, 128) }
+
+// BenchmarkFitLML1024 exercises the banded parallel Gram fill and
+// gradient trace (n above gramParallelN and lmlGradBandN).
+func BenchmarkFitLML1024(b *testing.B) { benchFitLML(b, 1024) }
+
+// BenchmarkFitLML1024Serial forces the same evaluation down the legacy
+// serial branches, so BENCH_fit.json carries the parallel-vs-serial
+// comparison at identical n and the -check floor can hold the parallel
+// path to at worst serial cost.
+func BenchmarkFitLML1024Serial(b *testing.B) {
+	oldGram, oldBand := gramParallelN, lmlGradBandN
+	gramParallelN, lmlGradBandN = 1<<30, 1<<30
+	defer func() { gramParallelN, lmlGradBandN = oldGram, oldBand }()
+	benchFitLML(b, 1024)
+}
+
+// BenchmarkFitFactorBytes4096 reports the resident footprint of the
+// n = 4096 factor in steady state — packed lower triangle plus the
+// locally built transpose cache — as a factor-bytes metric. The dense
+// layout this replaced held 2·n²·8 = 268435456 bytes; the packed layout
+// holds 2·(n·(n+1)/2)·8 = 134250496. The timed loop is the fast-path
+// solve so the metric is attached to live work, not a no-op body.
+func BenchmarkFitFactorBytes4096(b *testing.B) {
+	g := largeGPOnce()
+	y := make([]float64, largeN)
+	for i := range y {
+		y[i] = float64(i%7) - 3
+	}
+	out := make([]float64, largeN)
+	// Two warm solves cross the fast-path trigger and build the cache
+	// (the fixture's alpha solve already advanced it once).
+	g.chol.SolveVecInto(out, y)
+	g.chol.SolveVecInto(out, y)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.chol.SolveVecInto(out, y)
+	}
+	b.ReportMetric(float64(g.chol.FactorBytes()), "factor-bytes")
+}

@@ -1,0 +1,68 @@
+package gp
+
+import (
+	"sync"
+
+	"repro/internal/mat"
+)
+
+// fitWorkspace is the per-fit scratch of the marginal-likelihood objective.
+// Every L-BFGS objective call used to build a fresh n×n Gram, a fresh
+// Inverse() Dense, and fresh gradient scratch — O(n²) garbage per
+// evaluation, dozens of evaluations per restart. One workspace now serves
+// every evaluation of an optimizeHyper run (the multi-start is serial, so
+// a single workspace is never shared) and is recycled through fitPool
+// across fits, resizing only when the fitted sizes change.
+//
+// The embedded Cholesky is reused via Refactorize, so the factor's packed
+// n²/2 storage is allocated once per size change rather than once per
+// objective call.
+type fitWorkspace struct {
+	n, np, nk int
+
+	gram  *mat.Dense   // n×n Gram K + σ²I
+	chol  mat.Cholesky // refactorized in place each evaluation
+	alpha []float64    // n: (K+σ²I)⁻¹ y
+	inv   *mat.Dense   // n×n: K⁻¹, then overwritten with A = ααᵀ − K⁻¹
+	wt    *mat.Dense   // n×n: L⁻ᵀ scratch for InverseInto
+	grad  []float64    // np: LML gradient accumulator
+	kg    []float64    // nk: per-pair kernel-gradient scratch (serial path)
+
+	// Banded-gradient partials for the parallel trace loop: band b
+	// accumulates its kernel-gradient partial into bandGrad[b·nk:(b+1)·nk]
+	// using bandKg[b·nk:(b+1)·nk] as its private per-pair scratch, and the
+	// partials are reduced in fixed band order after the join.
+	bandGrad []float64
+	bandKg   []float64
+}
+
+// fitPool recycles fit workspaces across optimizeHyper runs. Workspaces
+// are size-adapted on acquisition (ensure), so consecutive fits at the
+// same FitSubsetMax-scale n — the steady state of a BO loop — reuse all
+// O(n²) buffers.
+var fitPool = sync.Pool{New: func() any { return new(fitWorkspace) }}
+
+// ensure resizes the workspace for a fit over n points with np packed
+// hyperparameters (nk kernel parameters) and nb gradient bands. Buffer
+// contents are unspecified afterwards; every consumer overwrites before
+// reading (InverseInto and the gradient accumulators are written before
+// use by contract).
+func (ws *fitWorkspace) ensure(n, np, nk, nb int) {
+	if ws.gram == nil || ws.n != n {
+		ws.gram = mat.NewDense(n, n, nil)
+		ws.inv = mat.NewDense(n, n, nil)
+		ws.wt = mat.NewDense(n, n, nil)
+		ws.alpha = make([]float64, n)
+	}
+	if len(ws.grad) != np {
+		ws.grad = make([]float64, np)
+	}
+	if len(ws.kg) != nk {
+		ws.kg = make([]float64, nk)
+	}
+	if len(ws.bandGrad) != nb*nk {
+		ws.bandGrad = make([]float64, nb*nk)
+		ws.bandKg = make([]float64, nb*nk)
+	}
+	ws.n, ws.np, ws.nk = n, np, nk
+}

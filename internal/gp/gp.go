@@ -34,6 +34,34 @@ import (
 // on small fixtures.
 var parallelJointN = 4096
 
+// gramParallelN is the fitted-set size at which gramInto splits its row
+// fill (and the mirror of the strict upper triangle) across
+// parallel.ForEachBand workers. The split is bit-safe at every size —
+// each band writes disjoint rows and the batched row fill is bitwise-
+// identical to the per-pair loop — so the threshold is purely a
+// fan-out-overhead knob. A variable so bit-identity tests can force both
+// branches on small fixtures.
+var gramParallelN = 512
+
+// gramRowBand is the contiguous row-band granularity of the parallel
+// Gram fill. The partition depends only on the row count, never on the
+// worker count.
+const gramRowBand = 64
+
+// lmlGradBandN gates the banded gradient-trace reduction in
+// logMarginalLikelihood. Unlike the Gram fill, the banded path fixes a
+// DIFFERENT (though still deterministic) floating-point association than
+// the seed's single serial left-fold over all pairs: per-band partials
+// are summed in band order. The gate therefore keeps small-n fits —
+// including every golden-trace fixture — on the legacy serial DAG
+// byte-for-byte, while FitSubsetMax-scale fits get a partition that
+// depends only on n and is identical for every GOMAXPROCS. A variable so
+// bit-identity tests can force both branches on small fixtures.
+var lmlGradBandN = 512
+
+// lmlGradBand is the row-band granularity of the banded gradient trace.
+const lmlGradBand = 64
+
 // KernelKind selects the covariance family for Config.
 type KernelKind int
 
@@ -330,8 +358,18 @@ func (g *GP) optimizeHyper(warm []float64) error {
 		}
 	}
 
+	// One pooled workspace serves every objective evaluation of this run:
+	// the multi-start below is serial (Parallel unset), so the workspace is
+	// never shared, and successive fits at the same n reuse its O(n²)
+	// buffers through fitPool. Nothing the objective returns aliases the
+	// workspace — obj copies the gradient — so it is safe to recycle the
+	// moment Run returns.
+	nGrad := fitX.Rows()
+	ws := fitPool.Get().(*fitWorkspace)
+	ws.ensure(nGrad, np, g.kern.NumParams(), (nGrad+lmlGradBand-1)/lmlGradBand)
+
 	obj := func(p, grad []float64) float64 {
-		lml, gr, err := g.logMarginalLikelihood(fitX, fitY, p)
+		lml, gr, err := g.logMarginalLikelihood(fitX, fitY, p, ws)
 		if err != nil {
 			// Non-PD even after jitter: return a large penalty pushing away.
 			for i := range grad {
@@ -376,66 +414,154 @@ func (g *GP) optimizeHyper(warm []float64) error {
 
 	ms := &optim.MultiStart{Local: &optim.LBFGSB{MaxIter: maxIter, GTol: 1e-5, MaxEvals: 2 * maxIter, MaxLineSearch: 12}}
 	res := ms.Run(context.Background(), obj, starts, lo, hi)
+	fitPool.Put(ws)
 	g.applyParams(res.X)
 	g.warmParams = mat.CloneVec(res.X)
 	g.fitLML = -res.F
 	return nil
 }
 
-// gram builds K(X,X) + noise·I for the current kernel state.
-func (g *GP) gram(x *mat.Dense) *mat.Dense {
+// gramInto fills k (n×n) with K(X,X) + noise·I for the current kernel
+// state and returns it. Each row's lower triangle comes from the batched
+// kernel.EvalRow fill — bitwise-identical to the per-pair Eval loop it
+// replaced (see TestGramIntoMatchesPerPair) — and the strict upper
+// triangle is mirrored afterwards. Above gramParallelN both passes split
+// over deterministic row bands: every band writes disjoint rows and the
+// mirror copies finished values, so the filled matrix is bitwise
+// identical to the serial fill for any GOMAXPROCS.
+func (g *GP) gramInto(k *mat.Dense, x *mat.Dense) *mat.Dense {
 	n := x.Rows()
-	k := mat.NewDense(n, n, nil)
-	for i := 0; i < n; i++ {
-		xi := x.Row(i)
-		for j := 0; j <= i; j++ {
-			v := g.kern.Eval(xi, x.Row(j))
-			if i == j {
-				v += g.noise
-			}
-			k.Set(i, j, v)
-			k.Set(j, i, v)
+	if n >= gramParallelN {
+		// The closures below escape into the worker pool; they are only
+		// materialized on this branch so the sub-threshold path — every
+		// objective evaluation of a small fit — stays allocation-free
+		// (TestFitObjectiveAllocs).
+		workers := runtime.GOMAXPROCS(0)
+		if err := parallel.ForEachBand(context.Background(), workers, n, gramRowBand, func(lo, hi int) {
+			g.gramFillRows(k, x, lo, hi)
+		}); err != nil {
+			panic(err) // unreachable: the background context is never cancelled
 		}
+		if err := parallel.ForEachBand(context.Background(), workers, n, gramRowBand, func(lo, hi int) {
+			g.gramMirrorRows(k, lo, hi)
+		}); err != nil {
+			panic(err) // unreachable: the background context is never cancelled
+		}
+	} else {
+		g.gramFillRows(k, x, 0, n)
+		g.gramMirrorRows(k, 0, n)
 	}
 	return k
 }
 
+// gramFillRows fills rows [lo, hi) of k's lower triangle (noise on the
+// diagonal) from the batched kernel row fill.
+func (g *GP) gramFillRows(k *mat.Dense, x *mat.Dense, lo, hi int) {
+	d := x.Cols()
+	xd := x.Data()
+	for i := lo; i < hi; i++ {
+		row := k.Row(i)[:i+1]
+		g.kern.EvalRow(row, x.Row(i), xd[:(i+1)*d])
+		row[i] += g.noise
+	}
+}
+
+// gramMirrorRows copies the finished lower triangle into rows [lo, hi)
+// of the strict upper triangle. Destination row j's tail
+// kd[j·n+j+1 : j·n+n] is contiguous; the strided column reads walk
+// values the fill pass finished.
+func (g *GP) gramMirrorRows(k *mat.Dense, lo, hi int) {
+	n := k.Rows()
+	kd := k.Data()
+	for j := lo; j < hi; j++ {
+		for i := j + 1; i < n; i++ {
+			kd[j*n+i] = kd[i*n+j]
+		}
+	}
+}
+
 // logMarginalLikelihood evaluates the LML and its gradient w.r.t. packed
-// params p on the given (normalized) data.
-func (g *GP) logMarginalLikelihood(x *mat.Dense, y []float64, p []float64) (float64, []float64, error) {
+// params p on the given (normalized) data, using ws for every O(n²)
+// intermediate. The returned gradient aliases ws.grad and is only valid
+// until the next evaluation against the same workspace.
+func (g *GP) logMarginalLikelihood(x *mat.Dense, y []float64, p []float64, ws *fitWorkspace) (float64, []float64, error) {
 	g.applyParams(p)
 	n := x.Rows()
-	k := g.gram(x)
-	ch, err := mat.NewCholesky(k, 0, 0)
-	if err != nil {
+	k := g.gramInto(ws.gram, x)
+	if err := ws.chol.Refactorize(k, 0, 0); err != nil {
 		return 0, nil, err
 	}
-	alpha := ch.SolveVec(y)
+	ch := &ws.chol
+	alpha := ch.SolveVecInto(ws.alpha, y)
 	lml := -0.5*mat.Dot(y, alpha) - 0.5*ch.LogDet() - 0.5*float64(n)*math.Log(2*math.Pi)
 
 	// Gradient: ∂LML/∂θ = ½ tr((ααᵀ − K⁻¹)·∂K/∂θ).
-	kinv := ch.Inverse()
-	// A = ααᵀ − K⁻¹ (symmetric).
-	a := kinv
+	// A = ααᵀ − K⁻¹ (symmetric), built in place over the pooled inverse.
+	a := ch.InverseInto(ws.inv, ws.wt)
 	a.Scale(-1)
 	a.SymOuterUpdate(1, alpha)
 
 	np := len(p)
 	nk := g.kern.NumParams()
-	grad := make([]float64, np)
-	kg := make([]float64, nk)
-	for i := 0; i < n; i++ {
-		xi := x.Row(i)
-		arow := a.Row(i)
-		for j := 0; j <= i; j++ {
-			g.kern.EvalWithGrad(xi, x.Row(j), kg)
-			w := arow[j]
-			scale := 1.0
-			if i != j {
-				scale = 2.0 // symmetric off-diagonal counted twice
+	grad := ws.grad[:np]
+	for t := range grad {
+		grad[t] = 0
+	}
+	if n >= lmlGradBandN {
+		// Banded trace: band b accumulates the partial over its rows' (i, j≤i)
+		// pairs into its private slot — in-band order identical to the serial
+		// loop — and the partials are reduced in fixed band order below. The
+		// partition depends only on n, so the result is bit-identical for any
+		// GOMAXPROCS (but deliberately not to the sub-threshold serial fold;
+		// the gate keeps golden-trace fits below it).
+		bandGrad, bandKg := ws.bandGrad, ws.bandKg
+		if err := parallel.ForEachBand(context.Background(), runtime.GOMAXPROCS(0), n, lmlGradBand, func(lo, hi int) {
+			b := lo / lmlGradBand
+			part := bandGrad[b*nk : (b+1)*nk]
+			kg := bandKg[b*nk : (b+1)*nk]
+			for t := range part {
+				part[t] = 0
 			}
+			for i := lo; i < hi; i++ {
+				xi := x.Row(i)
+				arow := a.Row(i)
+				for j := 0; j <= i; j++ {
+					g.kern.EvalWithGrad(xi, x.Row(j), kg)
+					w := arow[j]
+					scale := 1.0
+					if i != j {
+						scale = 2.0 // symmetric off-diagonal counted twice
+					}
+					for t := 0; t < nk; t++ {
+						part[t] += 0.5 * scale * w * kg[t]
+					}
+				}
+			}
+		}); err != nil {
+			panic(err) // unreachable: the background context is never cancelled
+		}
+		nb := (n + lmlGradBand - 1) / lmlGradBand
+		for b := 0; b < nb; b++ {
+			part := bandGrad[b*nk : (b+1)*nk]
 			for t := 0; t < nk; t++ {
-				grad[t] += 0.5 * scale * w * kg[t]
+				grad[t] += part[t]
+			}
+		}
+	} else {
+		kg := ws.kg[:nk]
+		for i := 0; i < n; i++ {
+			xi := x.Row(i)
+			arow := a.Row(i)
+			for j := 0; j <= i; j++ {
+				g.kern.EvalWithGrad(xi, x.Row(j), kg)
+				w := arow[j]
+				scale := 1.0
+				if i != j {
+					scale = 2.0 // symmetric off-diagonal counted twice
+				}
+				for t := 0; t < nk; t++ {
+					grad[t] += 0.5 * scale * w * kg[t]
+				}
 			}
 		}
 	}
@@ -452,7 +578,8 @@ func (g *GP) logMarginalLikelihood(x *mat.Dense, y []float64, p []float64) (floa
 
 // factorize computes the full-data Cholesky and alpha for prediction.
 func (g *GP) factorize() error {
-	k := g.gram(g.x)
+	n := g.x.Rows()
+	k := g.gramInto(mat.NewDense(n, n, nil), g.x)
 	ch, err := mat.NewCholesky(k, 0, 0)
 	if err != nil {
 		return fmt.Errorf("gp: final factorization failed: %w", err)
@@ -615,7 +742,8 @@ func (g *GP) PredictJoint(xs [][]float64) (*JointPrediction, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gp: joint covariance not PD: %w", err)
 	}
-	return &JointPrediction{Mean: mean, CovChol: ch.L().Clone()}, nil
+	// L materializes a fresh matrix on the packed factor — no Clone needed.
+	return &JointPrediction{Mean: mean, CovChol: ch.L()}, nil
 }
 
 // Fantasize returns a new GP that additionally conditions on the

@@ -150,21 +150,23 @@ func TestLMLGradientFiniteDiff(t *testing.T) {
 		t.Fatal(err)
 	}
 	p0 := []float64{0.2, math.Log(0.4), math.Log(0.5), math.Log(0.3), math.Log(1e-3)}
-	lml, grad, err := g.logMarginalLikelihood(g.x, g.ys, p0)
+	ws := fitWorkspaceFor(g, g.x, len(p0))
+	lml, gr, err := g.logMarginalLikelihood(g.x, g.ys, p0, ws)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = lml
+	grad := append([]float64(nil), gr...) // gr aliases ws and the next call overwrites it
 	const h = 1e-5
 	for j := range p0 {
 		p := append([]float64(nil), p0...)
 		p[j] += h
-		up, _, err := g.logMarginalLikelihood(g.x, g.ys, p)
+		up, _, err := g.logMarginalLikelihood(g.x, g.ys, p, ws)
 		if err != nil {
 			t.Fatal(err)
 		}
 		p[j] -= 2 * h
-		dn, _, err := g.logMarginalLikelihood(g.x, g.ys, p)
+		dn, _, err := g.logMarginalLikelihood(g.x, g.ys, p, ws)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -313,7 +313,8 @@ func (r *RFF) PredictJoint(xs [][]float64) (*surrogate.JointPrediction, error) {
 	if err != nil {
 		return nil, fmt.Errorf("gp: rff joint covariance not PD: %w", err)
 	}
-	return &surrogate.JointPrediction{Mean: mean, CovChol: ch.L().Clone()}, nil
+	// L materializes a fresh matrix on the packed factor — no Clone needed.
+	return &surrogate.JointPrediction{Mean: mean, CovChol: ch.L()}, nil
 }
 
 // Fantasize conditions the weight-space posterior on one extra observation

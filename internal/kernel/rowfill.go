@@ -33,10 +33,7 @@ func EvalRowAuto(k Kernel, dst, x, xs []float64) {
 		return
 	}
 	d := k.Dim()
-	chunks := (n + parallelRowChunk - 1) / parallelRowChunk
-	if err := parallel.ForEach(context.Background(), runtime.GOMAXPROCS(0), chunks, func(c int) {
-		lo := c * parallelRowChunk
-		hi := min(lo+parallelRowChunk, n)
+	if err := parallel.ForEachBand(context.Background(), runtime.GOMAXPROCS(0), n, parallelRowChunk, func(lo, hi int) {
 		k.EvalRow(dst[lo:hi], x, xs[lo*d:hi*d])
 	}); err != nil {
 		panic(err) // unreachable: the background context is never cancelled
@@ -54,10 +51,7 @@ func EvalRowWithGradAuto(k Kernel, dst, gradx, x, xs []float64) {
 		return
 	}
 	d := k.Dim()
-	chunks := (n + parallelRowChunk - 1) / parallelRowChunk
-	if err := parallel.ForEach(context.Background(), runtime.GOMAXPROCS(0), chunks, func(c int) {
-		lo := c * parallelRowChunk
-		hi := min(lo+parallelRowChunk, n)
+	if err := parallel.ForEachBand(context.Background(), runtime.GOMAXPROCS(0), n, parallelRowChunk, func(lo, hi int) {
 		k.EvalRowWithGrad(dst[lo:hi], gradx[lo*d:hi*d], x, xs[lo*d:hi*d])
 	}); err != nil {
 		panic(err) // unreachable: the background context is never cancelled

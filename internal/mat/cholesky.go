@@ -1,35 +1,69 @@
 package mat
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/fp"
+	"repro/internal/parallel"
 )
 
 // ErrNotPositiveDefinite is returned when a matrix cannot be factorized even
 // after the maximum jitter has been added to its diagonal.
 var ErrNotPositiveDefinite = errors.New("mat: matrix is not positive definite")
 
-// Cholesky holds a lower-triangular Cholesky factor L with A = L·Lᵀ.
-// The factor owns its storage; the input matrix is never modified.
+// packedLen is the number of float64s a packed lower triangle of order n
+// holds: n·(n+1)/2.
+func packedLen(n int) int { return n * (n + 1) / 2 }
+
+// rowOffset is the start of packed row i: i·(i+1)/2. Row i holds the i+1
+// entries L[i][0..i].
+func rowOffset(i int) int { return i * (i + 1) / 2 }
+
+// colOffset is the start of packed column k inside a column-major prefix of
+// order np: k·np − k·(k−1)/2. Column k holds the np−k entries L[k..np)[k].
+func colOffset(k, np int) int { return k*np - k*(k-1)/2 }
+
+// ltPrefix is a packed column-major copy of the leading np×np block of a
+// lower-triangular factor: column k occupies data[colOffset(k,np) :
+// colOffset(k,np)+np−k] and holds L[k..np)[k]. A prefix is immutable once
+// published and position-independent — any factor whose leading np rows
+// equal the prefix owner's can consume it, which is what lets a
+// Kriging-Believer fantasy chain share the root factor's cache (Extend
+// propagates the pointer) instead of paying one O(n²) build per link.
+type ltPrefix struct {
+	np   int
+	data []float64
+}
+
+// Cholesky holds a lower-triangular Cholesky factor L with A = L·Lᵀ in
+// packed row-major storage: row i occupies l[rowOffset(i) : rowOffset(i)+i+1].
+// A factor therefore costs n·(n+1)/2 floats instead of the n² a dense
+// triangle wastes half of. The factor owns its storage; the input matrix is
+// never modified.
 type Cholesky struct {
 	n      int
-	l      *Dense  // lower triangular, n×n
-	jitter float64 // diagonal jitter that was added to achieve factorization
-	// lt caches Lᵀ row-major so the hot solve kernels stream memory
-	// contiguously instead of striding down columns of l. It holds the
-	// same values — solves read identical floats in an identical order
+	l      []float64 // packed lower triangle, row-major
+	jitter float64   // diagonal jitter that was added to achieve factorization
+	// ltp caches Lᵀ packed column-major so the hot solve kernels stream
+	// memory contiguously instead of striding down packed rows. It holds
+	// the same values — solves read identical floats in an identical order
 	// from either layout — and is built lazily on the SECOND solve:
 	// factors solved exactly once (hyperparameter-likelihood candidates,
 	// fantasy alpha recomputes) keep the direct path and never pay the
 	// O(n²) build, while long-lived factors serving many predictions
-	// amortize it immediately.
-	lt     []float64
-	ltOnce sync.Once
+	// amortize it immediately. A factor extended from a cache-carrying
+	// parent instead inherits the parent's prefix (np < n) at
+	// construction: its solves read rows < np contiguously from the shared
+	// prefix and the few extension rows from packed row storage, and it
+	// never builds a cache of its own.
+	ltp    atomic.Pointer[ltPrefix]
+	ltMu   sync.Mutex // serializes buildTranspose; ltp is the publish point
 	solved atomic.Bool
 }
 
@@ -39,6 +73,22 @@ type Cholesky struct {
 // the diagonal; the jitter actually used is recorded and queryable via
 // Jitter. startJitter <= 0 selects a default relative to the mean diagonal.
 func NewCholesky(a *Dense, startJitter, maxJitter float64) (*Cholesky, error) {
+	c := &Cholesky{}
+	if err := c.Refactorize(a, startJitter, maxJitter); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Refactorize runs NewCholesky's factorization into this factor's existing
+// storage (growing it on a size change), resetting the solve trigger and
+// dropping any transpose cache. It lets a pooled fit workspace reuse one
+// Cholesky across many hyperparameter evaluations instead of allocating
+// n²/2 floats per objective call. Prefix snapshots previously shared with
+// extended children are immutable and remain valid — the children keep
+// their pointer; only this factor forgets it. Not safe to call concurrently
+// with solves on the same factor.
+func (c *Cholesky) Refactorize(a *Dense, startJitter, maxJitter float64) error {
 	if a.rows != a.cols {
 		panic(fmt.Sprintf("mat: cholesky of non-square %d×%d", a.rows, a.cols))
 	}
@@ -56,12 +106,18 @@ func NewCholesky(a *Dense, startJitter, maxJitter float64) (*Cholesky, error) {
 	if maxJitter <= 0 {
 		maxJitter = startJitter * 1e8
 	}
-	c := &Cholesky{n: n, l: NewDense(n, n, nil)}
+	c.n = n
+	if cap(c.l) < packedLen(n) {
+		c.l = make([]float64, packedLen(n))
+	}
+	c.l = c.l[:packedLen(n)]
+	c.ltp.Store(nil)
+	c.solved.Store(false)
 	jitter := 0.0
 	for {
 		if c.factorize(a, jitter) {
 			c.jitter = jitter
-			return c, nil
+			return nil
 		}
 		if fp.Zero(jitter) {
 			jitter = startJitter
@@ -69,35 +125,40 @@ func NewCholesky(a *Dense, startJitter, maxJitter float64) (*Cholesky, error) {
 			jitter *= 100 // escalate fast: every retry is a full O(n³) pass
 		}
 		if jitter > maxJitter {
-			return nil, ErrNotPositiveDefinite
+			return ErrNotPositiveDefinite
 		}
 	}
 }
 
-// factorize attempts an in-place Cholesky of a + jitter·I into c.l, returning
-// false on a non-positive pivot.
+// factorize attempts a Cholesky of a + jitter·I into the packed rows of
+// c.l, returning false on a non-positive pivot. Every packed entry is
+// written, so no zeroing pass is needed. The accumulation order per entry
+// (increasing k, division or sqrt last) is the textbook DAG the dense
+// implementation evaluated — the packed layout changes addresses, not
+// arithmetic.
 func (c *Cholesky) factorize(a *Dense, jitter float64) bool {
 	n := c.n
 	l := c.l
-	l.Zero()
 	for i := 0; i < n; i++ {
-		lrow := l.Row(i)
+		ioff := rowOffset(i)
+		lrow := l[ioff : ioff+i]
 		for j := 0; j <= i; j++ {
 			sum := a.At(i, j)
 			if i == j {
 				sum += jitter
 			}
-			ljrow := l.Row(j)
-			for k := 0; k < j; k++ {
-				sum -= lrow[k] * ljrow[k]
+			joff := rowOffset(j)
+			ljrow := l[joff : joff+j]
+			for k, v := range ljrow {
+				sum -= lrow[k] * v
 			}
 			if i == j {
 				if sum <= 0 || math.IsNaN(sum) {
 					return false
 				}
-				lrow[j] = math.Sqrt(sum)
+				l[ioff+j] = math.Sqrt(sum)
 			} else {
-				lrow[j] = sum / ljrow[j]
+				l[ioff+j] = sum / l[joff+j]
 			}
 		}
 	}
@@ -110,15 +171,65 @@ func (c *Cholesky) Size() int { return c.n }
 // Jitter returns the diagonal jitter that was added during factorization.
 func (c *Cholesky) Jitter() float64 { return c.jitter }
 
-// L returns the lower-triangular factor. The returned matrix aliases the
-// Cholesky's internal storage and must not be modified.
-func (c *Cholesky) L() *Dense { return c.l }
+// L materializes the lower-triangular factor as a freshly allocated dense
+// matrix with a zero strict upper triangle. The factor's own storage is
+// packed, so the result does not alias it and may be modified freely.
+func (c *Cholesky) L() *Dense {
+	n := c.n
+	d := NewDense(n, n, nil)
+	for i := 0; i < n; i++ {
+		off := rowOffset(i)
+		copy(d.Row(i)[:i+1], c.l[off:off+i+1])
+	}
+	return d
+}
+
+// LRow copies packed row i of L (entries L[i][0..i], length i+1) into dst
+// and returns it. dst must have length i+1. It exposes rows without the
+// O(n²) materialization L performs.
+func (c *Cholesky) LRow(i int, dst []float64) []float64 {
+	if i < 0 || i >= c.n {
+		panic(fmt.Sprintf("mat: cholesky row %d out of range [0,%d)", i, c.n))
+	}
+	if len(dst) != i+1 {
+		panic(fmt.Sprintf("mat: cholesky row dst length %d != %d", len(dst), i+1))
+	}
+	off := rowOffset(i)
+	copy(dst, c.l[off:off+i+1])
+	return dst
+}
+
+// HasTransposeCache reports whether the factor currently holds a
+// transpose cache — built locally or inherited from a parent through
+// Extend. Read-only: it never triggers a build and never advances the
+// fast-path trigger.
+func (c *Cholesky) HasTransposeCache() bool { return c.ltp.Load() != nil }
+
+// SharesTransposeCache reports whether c and other hold the same cache
+// object — true exactly when one inherited the other's prefix through
+// Extend, or both inherited a common ancestor's. Read-only.
+func (c *Cholesky) SharesTransposeCache(other *Cholesky) bool {
+	p := c.ltp.Load()
+	return p != nil && p == other.ltp.Load()
+}
+
+// FactorBytes reports the float64 storage this factor owns in bytes: the
+// packed lower triangle plus the transpose-cache prefix when built locally.
+// An inherited prefix (np < n) is owned by — and counted against — the
+// ancestor that built it.
+func (c *Cholesky) FactorBytes() int {
+	b := len(c.l) * 8
+	if p := c.ltp.Load(); p != nil && p.np == c.n {
+		b += len(p.data) * 8
+	}
+	return b
+}
 
 // LogDet returns log|A| = 2·Σ log L_ii.
 func (c *Cholesky) LogDet() float64 {
 	var s float64
 	for i := 0; i < c.n; i++ {
-		s += math.Log(c.l.data[i*c.n+i])
+		s += math.Log(c.l[rowOffset(i)+i])
 	}
 	return 2 * s
 }
@@ -196,8 +307,10 @@ func (c *Cholesky) BackSolveVecInto(dst, b []float64) []float64 {
 }
 
 // useFast reports whether this solve should run on the transposed
-// layout, building it on first use. The first solve against a factor
-// returns false (direct layout, no build); every later solve returns
+// layout, building it on first use. A factor carrying an inherited prefix
+// uses the fast path from its very first solve — the cache already exists,
+// its parent paid for it. Otherwise the first solve against a factor
+// returns false (direct layout, no build) and every later solve returns
 // true. Both layouts execute the identical floating-point operation
 // sequence, so the answer only affects speed, never bits — which also
 // makes the benign race between concurrent first solves harmless.
@@ -209,8 +322,11 @@ func (c *Cholesky) BackSolveVecInto(dst, b []float64) []float64 {
 // they will force the O(n²) transpose build onto factors the trigger was
 // designed to spare.
 func (c *Cholesky) useFast() bool {
+	if c.ltp.Load() != nil {
+		return true
+	}
 	if c.solved.Load() {
-		c.ltOnce.Do(c.buildTranspose)
+		c.buildTranspose()
 		return true
 	}
 	c.solved.Store(true)
@@ -222,28 +338,38 @@ func (c *Cholesky) useFast() bool {
 // factor runs every column on the direct layout and leaves the transpose
 // cache unbuilt — preserving the "single-solve factors never pay the
 // build" invariant even when one Extend spans many columns — while a
-// factor that has already served at least one solve gets the cached
-// layout (building it if needed: this is at least its second use). Both
-// paths produce identical bits, so the choice only affects speed.
+// factor that has already served at least one solve (or inherited its
+// parent's cache) gets the cached layout, building it if needed: this is
+// at least its second use. Both paths produce identical bits, so the
+// choice only affects speed.
 func (c *Cholesky) pathFast() bool {
+	if c.ltp.Load() != nil {
+		return true
+	}
 	if c.solved.Load() {
-		c.ltOnce.Do(c.buildTranspose)
+		c.buildTranspose()
 		return true
 	}
 	return false
 }
 
-// buildTranspose fills the cached row-major copy of Lᵀ. Reached only
-// through useFast and pathFast (via their sync.Once). The copy runs over
+// buildTranspose fills and publishes the packed column-major copy of Lᵀ
+// covering the whole factor (np = n). Reached only through useFast and
+// pathFast once the factor has served a solve; the mutex makes the build
+// once-only and the atomic store publishes the finished prefix (readers
+// that load a non-nil pointer see fully written data). The copy runs over
 // square tiles so that neither side of the transpose strides a full row
 // per element.
 func (c *Cholesky) buildTranspose() {
-	n := c.n
-	if len(c.lt) != n*n {
-		c.lt = make([]float64, n*n)
+	c.ltMu.Lock()
+	defer c.ltMu.Unlock()
+	if c.ltp.Load() != nil {
+		return
 	}
-	ld := c.l.data
-	lt := c.lt
+	n := c.n
+	p := &ltPrefix{np: n, data: make([]float64, packedLen(n))}
+	l := c.l
+	lt := p.data
 	const tile = 32
 	for ib := 0; ib < n; ib += tile {
 		imax := min(ib+tile, n)
@@ -251,22 +377,33 @@ func (c *Cholesky) buildTranspose() {
 		for jb := 0; jb <= ib; jb += tile {
 			jmax := min(jb+tile, n)
 			for i := ib; i < imax; i++ {
-				row := ld[i*n+jb : i*n+min(jmax, i+1)]
+				off := rowOffset(i)
+				row := l[off+jb : off+min(jmax, i+1)]
 				for jo, v := range row {
-					lt[(jb+jo)*n+i] = v
+					j := jb + jo
+					lt[colOffset(j, n)+i-j] = v
 				}
 			}
 		}
 	}
+	c.ltp.Store(p)
 }
 
 // forwardSolve and backSolve sit at the bottom of every posterior
 // prediction, so both are written to let the compiler prove the inner
-// loops in-bounds: the row and right-hand-side slices are re-sliced to a
-// common length before the loop, which removes per-iteration bounds
+// loops in-bounds: the column and right-hand-side slices are re-sliced to
+// a common length before the loop, which removes per-iteration bounds
 // checks without touching the floating-point evaluation order (the
 // accumulation remains strictly sequential — required for the bitwise
 // reproducibility contract, see the golden-trace tests).
+//
+// Both kernels consume a prefix of order np ≤ n: rows below np stream
+// contiguously from the packed column-major cache, rows np..n−1 (the
+// extension rows of a factor that inherited its parent's cache) are read
+// from packed row storage. np = n for a self-built cache, making the
+// extension loops empty. Per element the updates still arrive in strictly
+// increasing k with the division at the same point, so the mixed layout
+// evaluates the exact DAG of the direct kernels.
 
 // forwardSolve uses the right-looking (axpy) form of forward
 // substitution: once y[k] is final it is scattered into every later
@@ -275,36 +412,39 @@ func (c *Cholesky) buildTranspose() {
 // — and therefore every output bit — is identical to the textbook
 // dot-product form; but the inner loop carries no dependency chain, so
 // it runs at memory/issue throughput instead of FP-subtract latency.
-// Column k of L is row k of the cached transpose, keeping the scatter
-// contiguous.
+// Column k of L is packed column k of the cached prefix, keeping the
+// scatter contiguous.
 func (c *Cholesky) forwardSolve(y []float64) {
 	n := c.n
-	lt := c.lt
+	p := c.ltp.Load()
+	np := p.np
+	lt := p.data
+	l := c.l
 	y = y[:n]
 	k := 0
 	// Four columns per sweep: each tail element is loaded and stored once
 	// for all four updates. The subtractions land in increasing-k order,
 	// exactly as a column-at-a-time sweep would apply them; only the
 	// memory traffic is batched, not the arithmetic.
-	for ; k+4 <= n; k += 4 {
-		off0 := k * n
-		off1 := off0 + n
-		off2 := off1 + n
-		off3 := off2 + n
+	for ; k+4 <= np; k += 4 {
+		off0 := colOffset(k, np)
+		off1 := off0 + (np - k)
+		off2 := off1 + (np - k - 1)
+		off3 := off2 + (np - k - 2)
 		// Solve the 4×4 triangular corner sequentially.
-		yk0 := y[k] / lt[off0+k]
+		yk0 := y[k] / lt[off0]
 		y[k] = yk0
-		yk1 := (y[k+1] - lt[off0+k+1]*yk0) / lt[off1+k+1]
+		yk1 := (y[k+1] - lt[off0+1]*yk0) / lt[off1]
 		y[k+1] = yk1
-		yk2 := ((y[k+2] - lt[off0+k+2]*yk0) - lt[off1+k+2]*yk1) / lt[off2+k+2]
+		yk2 := ((y[k+2] - lt[off0+2]*yk0) - lt[off1+1]*yk1) / lt[off2]
 		y[k+2] = yk2
-		yk3 := (((y[k+3] - lt[off0+k+3]*yk0) - lt[off1+k+3]*yk1) - lt[off2+k+3]*yk2) / lt[off3+k+3]
+		yk3 := (((y[k+3] - lt[off0+3]*yk0) - lt[off1+2]*yk1) - lt[off2+1]*yk2) / lt[off3]
 		y[k+3] = yk3
-		col0 := lt[off0+k+4 : off0+n]
-		col1 := lt[off1+k+4 : off1+n]
-		col2 := lt[off2+k+4 : off2+n]
-		col3 := lt[off3+k+4 : off3+n]
-		tail := y[k+4 : n]
+		col0 := lt[off0+4 : off0+np-k]
+		col1 := lt[off1+3 : off1+np-k-1]
+		col2 := lt[off2+2 : off2+np-k-2]
+		col3 := lt[off3+1 : off3+np-k-3]
+		tail := y[k+4 : np]
 		tail = tail[:len(col0)]
 		col1 = col1[:len(col0)]
 		col2 = col2[:len(col0)]
@@ -315,68 +455,100 @@ func (c *Cholesky) forwardSolve(y []float64) {
 			t -= col2[i] * yk2
 			tail[i] = t - col3[i]*yk3
 		}
+		// Extension rows read the four columns from packed row storage.
+		for i := np; i < n; i++ {
+			row := l[rowOffset(i)+k:]
+			t := y[i] - row[0]*yk0
+			t -= row[1] * yk1
+			t -= row[2] * yk2
+			y[i] = t - row[3]*yk3
+		}
 	}
-	for ; k < n; k++ {
-		off := k * n
-		yk := y[k] / lt[off+k]
+	for ; k < np; k++ {
+		off := colOffset(k, np)
+		yk := y[k] / lt[off]
 		y[k] = yk
-		col := lt[off+k+1 : off+n]
-		tail := y[k+1 : n]
+		col := lt[off+1 : off+np-k]
+		tail := y[k+1 : np]
 		tail = tail[:len(col)]
 		for i, ck := range col {
 			tail[i] -= ck * yk
+		}
+		for i := np; i < n; i++ {
+			y[i] -= l[rowOffset(i)+k] * yk
+		}
+	}
+	for ; k < n; k++ {
+		yk := y[k] / l[rowOffset(k)+k]
+		y[k] = yk
+		for i := k + 1; i < n; i++ {
+			y[i] -= l[rowOffset(i)+k] * yk
 		}
 	}
 }
 
 func (c *Cholesky) backSolve(y []float64) {
 	n := c.n
-	lt := c.lt
+	p := c.ltp.Load()
+	np := p.np
+	lt := p.data
+	l := c.l
 	y = y[:n]
-	for i := n - 1; i >= 0; i-- {
-		off := i * n
-		row := lt[off+i+1 : off+n] // L[k][i] for k = i+1 … n-1
-		yk := y[i+1 : n]
+	for i := n - 1; i >= np; i-- {
 		s := y[i]
-		for k, rk := range row {
+		for k := i + 1; k < n; k++ {
+			s -= l[rowOffset(k)+i] * y[k]
+		}
+		y[i] = s / l[rowOffset(i)+i]
+	}
+	for i := np - 1; i >= 0; i-- {
+		off := colOffset(i, np)
+		col := lt[off+1 : off+np-i] // L[k][i] for k = i+1 … np-1
+		yk := y[i+1 : np]
+		s := y[i]
+		for k, rk := range col {
 			s -= rk * yk[k]
 		}
-		y[i] = s / lt[off+i]
+		for k := np; k < n; k++ {
+			s -= l[rowOffset(k)+i] * y[k]
+		}
+		y[i] = s / lt[off]
 	}
 }
 
 // forwardSolveDirect is the left-looking (dot-product) form operating on
-// the factor's native row-major layout — no transpose cache required. It
-// evaluates the same operation DAG as forwardSolve: each y[i] subtracts
-// L[i][k]·y[k] in increasing k, then divides.
+// the factor's native packed row-major layout — no transpose cache
+// required, and every row it reads is contiguous. It evaluates the same
+// operation DAG as forwardSolve: each y[i] subtracts L[i][k]·y[k] in
+// increasing k, then divides.
 func (c *Cholesky) forwardSolveDirect(y []float64) {
 	n := c.n
-	data := c.l.data
+	l := c.l
 	y = y[:n]
 	for i := 0; i < n; i++ {
-		off := i * n
-		row := data[off : off+i]
+		off := rowOffset(i)
+		row := l[off : off+i]
 		yi := y[:i]
 		s := y[i]
 		for k, rk := range row {
 			s -= rk * yi[k]
 		}
-		y[i] = s / data[off+i]
+		y[i] = s / l[off+i]
 	}
 }
 
 // backSolveDirect is the transpose-free back substitution, striding down
-// columns of the native layout. Identical operation sequence to
+// packed columns of the native layout. Identical operation sequence to
 // backSolve.
 func (c *Cholesky) backSolveDirect(y []float64) {
 	n := c.n
-	data := c.l.data
+	l := c.l
 	for i := n - 1; i >= 0; i-- {
 		s := y[i]
 		for k := i + 1; k < n; k++ {
-			s -= data[k*n+i] * y[k]
+			s -= l[rowOffset(k)+i] * y[k]
 		}
-		y[i] = s / data[i*n+i]
+		y[i] = s / l[rowOffset(i)+i]
 	}
 }
 
@@ -413,29 +585,95 @@ func (c *Cholesky) SolveMat(b *Dense) *Dense {
 // Inverse returns A⁻¹ explicitly via the triangular inverse
 // A⁻¹ = L⁻ᵀ·L⁻¹. This is an O(n³) operation (roughly 3× cheaper than
 // solving against the identity); prefer the solve methods when only
-// products with A⁻¹ are needed.
+// products with A⁻¹ are needed, and InverseInto when scratch can be
+// reused.
 func (c *Cholesky) Inverse() *Dense {
 	n := c.n
-	// wt holds L⁻ᵀ: row i of wt is column i of L⁻¹, kept contiguous so
-	// both phases below stream memory linearly.
-	wt := NewDense(n, n, nil)
-	ld := c.l.data
-	for i := 0; i < n; i++ {
+	return c.InverseInto(NewDense(n, n, nil), NewDense(n, n, nil))
+}
+
+// invParallelN is the factor order at or above which InverseInto splits
+// its two phases over deterministic row bands (invRowBand rows each) via
+// parallel.ForEachBand. Unlike the banded LML gradient there is no
+// reduction to reassociate here: every wt row is a self-contained
+// triangular solve and every inv cell a single dot product, so the
+// banded result is bitwise-identical to the serial one at every n and
+// every GOMAXPROCS — the threshold only avoids dispatch overhead on
+// small factors. A package variable (not a const) so tests can force the
+// banded branch onto small fixtures.
+var invParallelN = 512
+
+// invRowBand is the row-band width of the parallel inverse split,
+// matching mulRowChunk's granularity.
+const invRowBand = 64
+
+// InverseInto computes A⁻¹ into inv, using wt as scratch for L⁻ᵀ; both
+// must be n×n, and inv is returned. Every cell either matrix contributes
+// is overwritten before it is read, so neither needs to be zeroed —
+// pooled fit workspaces hand in dirty scratch. The arithmetic is
+// identical to Inverse; above invParallelN both phases run over parallel
+// row bands with bitwise-identical results (TestInverseIntoParallelBitIdentity).
+func (c *Cholesky) InverseInto(inv, wt *Dense) *Dense {
+	n := c.n
+	if inv.rows != n || inv.cols != n {
+		panic(fmt.Sprintf("mat: cholesky inverse dst %d×%d != %d", inv.rows, inv.cols, n))
+	}
+	if wt.rows != n || wt.cols != n {
+		panic(fmt.Sprintf("mat: cholesky inverse scratch %d×%d != %d", wt.rows, wt.cols, n))
+	}
+	if n >= invParallelN {
+		workers := runtime.GOMAXPROCS(0)
+		if err := parallel.ForEachBand(context.Background(), workers, n, invRowBand, func(lo, hi int) {
+			c.invTransposeRows(wt, lo, hi)
+		}); err != nil {
+			panic(err) // unreachable: the background context is never cancelled
+		}
+		if err := parallel.ForEachBand(context.Background(), workers, n, invRowBand, func(lo, hi int) {
+			c.invProductRows(inv, wt, lo, hi)
+		}); err != nil {
+			panic(err) // unreachable: the background context is never cancelled
+		}
+	} else {
+		c.invTransposeRows(wt, 0, n)
+		c.invProductRows(inv, wt, 0, n)
+	}
+	return inv
+}
+
+// invTransposeRows fills rows [lo, hi) of wt with L⁻ᵀ: row i of wt is
+// column i of L⁻¹, kept contiguous so both phases stream memory
+// linearly. Each row is a self-contained triangular solve reading only
+// the factor and its own entries, so rows split freely across bands.
+func (c *Cholesky) invTransposeRows(wt *Dense, lo, hi int) {
+	n := c.n
+	l := c.l
+	for i := lo; i < hi; i++ {
 		wrow := wt.Row(i)
-		wrow[i] = 1 / ld[i*n+i]
+		wrow[i] = 1 / l[rowOffset(i)+i]
 		for k := i + 1; k < n; k++ {
-			lrow := ld[k*n : k*n+k]
+			koff := rowOffset(k)
+			lrow := l[koff : koff+k]
 			var s float64
 			for j := i; j < k; j++ {
 				s -= lrow[j] * wrow[j]
 			}
-			wrow[k] = s / ld[k*n+k]
+			wrow[k] = s / l[koff+k]
 		}
 	}
-	// A⁻¹[i][j] = Σ_{k>=max(i,j)} L⁻¹[k][i]·L⁻¹[k][j]
-	//           = dot(wt.Row(i)[i:], wt.Row(j)[i:]) for j <= i.
-	inv := NewDense(n, n, nil)
-	for i := 0; i < n; i++ {
+}
+
+// invProductRows fills the symmetric product for rows i in [lo, hi):
+//
+//	A⁻¹[i][j] = Σ_{k>=max(i,j)} L⁻¹[k][i]·L⁻¹[k][j]
+//	          = dot(wt.Row(i)[i:], wt.Row(j)[i:]) for j <= i.
+//
+// Band (lo, hi) owns every (i, j≤i) pair with i in range, including the
+// mirror cell inv[j][i]: each memory cell is written by exactly one
+// band, so bands race on nothing and the filled matrix is independent of
+// the partition.
+func (c *Cholesky) invProductRows(inv, wt *Dense, lo, hi int) {
+	n := c.n
+	for i := lo; i < hi; i++ {
 		wi := wt.Row(i)
 		for j := 0; j <= i; j++ {
 			wj := wt.Row(j)
@@ -447,7 +685,6 @@ func (c *Cholesky) Inverse() *Dense {
 			inv.data[j*n+i] = s
 		}
 	}
-	return inv
 }
 
 // Extend returns a new Cholesky of the (n+m)×(n+m) matrix
@@ -513,14 +750,19 @@ func (c *Cholesky) ExtendCols(bcols []float64, cc *Dense) (*Cholesky, error) {
 // every column on the direct layout without building the transpose cache
 // or advancing the fast-path trigger, so Extend on a single-solve parent
 // never pays the O(n²) build — both paths produce identical bits.
+//
+// When the parent does hold a transpose cache, the child inherits it: the
+// packed column-major prefix covers exactly the leading parent rows the
+// child's packed rows replicate, so the child solves on the fast path
+// from birth and a Kriging-Believer fantasy chain of any length shares
+// the single root cache build instead of paying one per link.
 func (c *Cholesky) extendW(w *Dense, cc *Dense) (*Cholesky, error) {
 	n, m := c.n, cc.rows
 	nm := n + m
-	out := &Cholesky{n: nm, l: NewDense(nm, nm, nil)}
-	// Copy existing factor into the top-left block.
-	for i := 0; i < n; i++ {
-		copy(out.l.Row(i)[:i+1], c.l.Row(i)[:i+1])
-	}
+	out := &Cholesky{n: nm, l: make([]float64, packedLen(nm))}
+	// The packed row-major layout is prefix-closed: rows 0..n−1 of the
+	// extended factor are one contiguous copy.
+	copy(out.l[:packedLen(n)], c.l)
 	// Off-diagonal block: solve L·w_j = B[:,j] in place for each column.
 	fast := c.pathFast()
 	for j := 0; j < m; j++ {
@@ -530,7 +772,7 @@ func (c *Cholesky) extendW(w *Dense, cc *Dense) (*Cholesky, error) {
 		} else {
 			c.forwardSolveDirect(row)
 		}
-		copy(out.l.Row(n + j)[:n], row)
+		copy(out.l[rowOffset(n+j):rowOffset(n+j)+n], row)
 	}
 	// Schur complement S = C − W·Wᵀ, then factorize it into the new corner.
 	s := NewDense(m, m, nil)
@@ -546,31 +788,38 @@ func (c *Cholesky) extendW(w *Dense, cc *Dense) (*Cholesky, error) {
 		return nil, err
 	}
 	for i := 0; i < m; i++ {
-		copy(out.l.Row(n + i)[n:n+i+1], sc.l.Row(i)[:i+1])
+		soff := rowOffset(i)
+		copy(out.l[rowOffset(n+i)+n:rowOffset(n+i)+n+i+1], sc.l[soff:soff+i+1])
 	}
 	out.jitter = math.Max(c.jitter, sc.jitter)
+	if fast {
+		// pathFast guaranteed the parent's cache exists; share it. The
+		// prefix is immutable, so the child (and its own children, which
+		// propagate the same pointer) reads it without synchronization.
+		out.ltp.Store(c.ltp.Load())
+	}
 	return out, nil
 }
 
 // CholeskyFromLower wraps an explicitly supplied lower-triangular factor
 // L as the Cholesky of A = L·Lᵀ, skipping the O(n³) factorization. The
-// strict upper triangle of l is ignored (the copy zeroes it); every
-// diagonal entry must be strictly positive and finite, or
-// ErrNotPositiveDefinite is returned. Intended for factors restored from
-// storage and for constructing large synthetic models in tests and
-// benchmarks.
+// strict upper triangle of l is ignored; every diagonal entry must be
+// strictly positive and finite, or ErrNotPositiveDefinite is returned.
+// Intended for factors restored from storage and for constructing large
+// synthetic models in tests and benchmarks.
 func CholeskyFromLower(l *Dense) (*Cholesky, error) {
 	if l.rows != l.cols {
 		panic(fmt.Sprintf("mat: cholesky factor of non-square %d×%d", l.rows, l.cols))
 	}
 	n := l.rows
-	c := &Cholesky{n: n, l: NewDense(n, n, nil)}
+	c := &Cholesky{n: n, l: make([]float64, packedLen(n))}
 	for i := 0; i < n; i++ {
 		d := l.data[i*n+i]
 		if !(d > 0) || math.IsInf(d, 1) {
 			return nil, ErrNotPositiveDefinite
 		}
-		copy(c.l.Row(i)[:i+1], l.Row(i)[:i+1])
+		off := rowOffset(i)
+		copy(c.l[off:off+i+1], l.Row(i)[:i+1])
 	}
 	return c, nil
 }

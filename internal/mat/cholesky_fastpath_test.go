@@ -23,7 +23,7 @@ func TestExtendFreshFactorSkipsTransposeBuild(t *testing.T) {
 	if _, err := c.Extend(b, cc); err != nil {
 		t.Fatalf("Extend: %v", err)
 	}
-	if c.lt != nil {
+	if c.ltp.Load() != nil {
 		t.Fatal("Extend on a fresh factor built the transpose cache")
 	}
 	if c.solved.Load() {
@@ -32,7 +32,7 @@ func TestExtendFreshFactorSkipsTransposeBuild(t *testing.T) {
 
 	c2 := freshFactor(t, rng, n)
 	c2.SolveMat(randomDense(rng, n, m))
-	if c2.lt != nil {
+	if c2.ltp.Load() != nil {
 		t.Fatal("SolveMat on a fresh factor built the transpose cache")
 	}
 	if c2.solved.Load() {
@@ -46,7 +46,7 @@ func TestExtendFreshFactorSkipsTransposeBuild(t *testing.T) {
 	if _, err := c3.Extend(b, cc); err != nil {
 		t.Fatalf("Extend: %v", err)
 	}
-	if c3.lt == nil {
+	if c3.ltp.Load() == nil {
 		t.Fatal("Extend on a solved factor did not use the transposed layout")
 	}
 }

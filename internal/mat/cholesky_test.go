@@ -8,6 +8,12 @@ import (
 	"testing/quick"
 )
 
+// newTestRand returns a fixed-seed PCG stream for in-package property
+// tests. Living here keeps the math/rand/v2 import (and its norand
+// waiver) in one place; sibling test files call this and let type
+// inference carry the stream.
+func newTestRand(seed1, seed2 uint64) *rand.Rand { return rand.New(rand.NewPCG(seed1, seed2)) }
+
 // randomSPD builds a random symmetric positive-definite matrix A = GᵀG + n·I.
 func randomSPD(rng *rand.Rand, n int) *Dense {
 	g := randomDense(rng, n, n)

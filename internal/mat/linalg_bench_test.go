@@ -85,7 +85,7 @@ func BenchmarkExtend1024(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if c.lt != nil {
+	if c.ltp.Load() != nil {
 		b.Fatal("Extend built the transpose cache on a fresh factor")
 	}
 }
@@ -98,7 +98,7 @@ func BenchmarkExtendCols1024(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	if c.lt != nil {
+	if c.ltp.Load() != nil {
 		b.Fatal("ExtendCols built the transpose cache on a fresh factor")
 	}
 }

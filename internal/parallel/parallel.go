@@ -228,6 +228,27 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int)) error {
 	return ctx.Err()
 }
 
+// ForEachBand partitions [0,n) into ceil(n/band) contiguous bands of
+// width band (the last possibly shorter) and runs fn(lo, hi) for each on
+// at most workers goroutines via ForEach. The partition depends only on n
+// and band — never on workers or scheduling — which is the deterministic-
+// partition half of the bit-identity argument the fit and predict paths
+// rely on: a caller whose bands write disjoint output rows produces
+// bitwise-identical results for any GOMAXPROCS, and a caller that reduces
+// per-band partials in band order gets one fixed association independent
+// of the worker count. Cancellation semantics are ForEach's.
+func ForEachBand(ctx context.Context, workers, n, band int, fn func(lo, hi int)) error {
+	if band <= 0 {
+		panic(fmt.Sprintf("parallel: non-positive band width %d", band))
+	}
+	nb := (n + band - 1) / band
+	return ForEach(ctx, workers, nb, func(b int) {
+		lo := b * band
+		hi := min(lo+band, n)
+		fn(lo, hi)
+	})
+}
+
 // LinearOverhead returns an overhead model base + perEval·q, matching the
 // paper's observation that the simulator's interfacing overhead grows with
 // the number of parallel calls.

@@ -11,6 +11,10 @@
 #              batched k★ fills, n=4096 prediction) -> BENCH_linalg.json
 #   snapshot — the session checkpoint codec at n=1024 recorded cycles
 #              (encode/decode ns and frame bytes) -> BENCH_snapshot.json
+#   fit      — the per-iteration LML objective cost (parallel vs forced-
+#              serial at n=1024, pooled small-n), the n=4096 fantasy-chain
+#              extension, and the resident factor footprint at n=4096
+#              (factor-bytes) -> BENCH_fit.json
 #
 # Usage:
 #   ./scripts/bench.sh             # full-accuracy run -> all JSON files
@@ -21,9 +25,12 @@
 #   BENCHTIME_LINALG   linalg -benchtime value (default 2s; the gate uses 1x
 #                      because the 1024³ matmuls run ~0.5 s per iteration)
 #   BENCHTIME_SNAPSHOT snapshot -benchtime value (default 2s; gates use 1x)
+#   BENCHTIME_FIT      fit -benchtime value (default 2s; the gate uses 1x
+#                      because one LML evaluation at n=1024 runs ~0.5 s)
 #   OUT                hotpath JSON path (default BENCH_hotpath.json)
 #   OUT_LINALG         linalg JSON path (default BENCH_linalg.json)
 #   OUT_SNAPSHOT       snapshot JSON path (default BENCH_snapshot.json)
+#   OUT_FIT            fit JSON path (default BENCH_fit.json)
 #
 # Checks (enforced with -check):
 #   - alloc budgets: the zero-allocation contract of DESIGN.md §9. A
@@ -32,6 +39,12 @@
 #   - linalg floor: BenchmarkMulInto1024 must not exceed 1.10× the naive
 #     ikj reference (BenchmarkMulIntoNaive1024), so the blocked dispatch
 #     can never regress below the loop it replaced.
+#   - fit floors: the banded parallel fit path must not exceed 1.10× the
+#     forced-serial path at the same n (bit-identity makes the branches
+#     interchangeable, so parallel dispatch may never cost more than it
+#     saves); the pooled small-n objective must stay at 0 allocs/op; and
+#     the n=4096 factor footprint must stay at or under 60% of the dense
+#     2·n² baseline (161061273 bytes) it replaced.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -39,9 +52,11 @@ cd "$(dirname "$0")/.."
 BENCHTIME="${BENCHTIME:-2s}"
 BENCHTIME_LINALG="${BENCHTIME_LINALG:-2s}"
 BENCHTIME_SNAPSHOT="${BENCHTIME_SNAPSHOT:-2s}"
+BENCHTIME_FIT="${BENCHTIME_FIT:-2s}"
 OUT="${OUT:-BENCH_hotpath.json}"
 OUT_LINALG="${OUT_LINALG:-BENCH_linalg.json}"
 OUT_SNAPSHOT="${OUT_SNAPSHOT:-BENCH_snapshot.json}"
+OUT_FIT="${OUT_FIT:-BENCH_fit.json}"
 CHECK=0
 if [ "${1:-}" = "-check" ]; then
     CHECK=1
@@ -50,7 +65,8 @@ fi
 raw=$(mktemp)
 rawlin=$(mktemp)
 rawsnap=$(mktemp)
-trap 'rm -f "$raw" "$rawlin" "$rawsnap"' EXIT
+rawfit=$(mktemp)
+trap 'rm -f "$raw" "$rawlin" "$rawsnap" "$rawfit"' EXIT
 
 # Anchored names: the LargeN linalg benchmarks also contain "Predict" /
 # "Fantasize" and must not leak into the hotpath suite.
@@ -66,18 +82,25 @@ go test -run '^$' -bench 'LargeN' \
 go test -run '^$' -bench 'SnapshotEncode1024$|SnapshotDecode1024$' \
     -benchmem -benchtime "$BENCHTIME_SNAPSHOT" ./internal/session/snapshot/ >"$rawsnap"
 
+# The fit suite: per-iteration LML objective cost plus the factor
+# footprint and fantasy-chain extension at n=4096 (the fantasy bench also
+# runs in the linalg suite; here it evidences the shared-prefix chain).
+go test -run '^$' -bench 'FitLML128$|FitLML1024$|FitLML1024Serial$|FitFactorBytes4096$|LargeNFantasize4096$' \
+    -benchmem -benchtime "$BENCHTIME_FIT" ./internal/gp/ >"$rawfit"
+
 tojson() {
     awk '
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
-        ns = ""; bytes = ""; allocs = ""; frame = ""
+        ns = ""; bytes = ""; allocs = ""; frame = ""; factor = ""
         for (i = 2; i <= NF; i++) {
             if ($(i+1) == "ns/op") ns = $i
             if ($(i+1) == "B/op") bytes = $i
             if ($(i+1) == "allocs/op") allocs = $i
             if ($(i+1) == "frame-bytes") frame = $i
+            if ($(i+1) == "factor-bytes") factor = $i
         }
         if (ns == "") next
         if (!first) print ","
@@ -85,6 +108,7 @@ tojson() {
         printf "  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s", \
             name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
         if (frame != "") printf ", \"frame_bytes\": %s", frame
+        if (factor != "") printf ", \"factor_bytes\": %s", factor
         printf "}"
     }
     END { print "\n]" }
@@ -94,8 +118,9 @@ tojson() {
 tojson "$raw" >"$OUT"
 tojson "$rawlin" >"$OUT_LINALG"
 tojson "$rawsnap" >"$OUT_SNAPSHOT"
+tojson "$rawfit" >"$OUT_FIT"
 
-echo "bench.sh: wrote $OUT, $OUT_LINALG and $OUT_SNAPSHOT"
+echo "bench.sh: wrote $OUT, $OUT_LINALG, $OUT_SNAPSHOT and $OUT_FIT"
 
 if [ "$CHECK" = "1" ]; then
     # name:max_allocs_per_op pairs pinned by the hot-path contract.
@@ -139,8 +164,56 @@ if [ "$CHECK" = "1" ]; then
         fi
     done
 
+    # Fit floors. The banded parallel LML path is bit-identical to the
+    # forced-serial path, so it may be chosen purely on speed — and must
+    # therefore never cost more than 1.10× serial (inline dispatch at one
+    # worker makes the two coincide up to noise on a single-core host).
+    getfitns() {
+        awk -v n="$1" '$1 ~ "^"n"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="ns/op") print $i }' "$rawfit"
+    }
+    fitpar=$(getfitns BenchmarkFitLML1024)
+    fitser=$(getfitns BenchmarkFitLML1024Serial)
+    if [ -z "$fitpar" ] || [ -z "$fitser" ]; then
+        echo "bench.sh: FAIL: FitLML1024 floor benchmarks did not run" >&2
+        fail=1
+    elif awk -v p="$fitpar" -v s="$fitser" 'BEGIN { exit !(p > 1.10 * s) }'; then
+        echo "bench.sh: FAIL: FitLML1024 ($fitpar ns/op) regressed past 1.10x serial ($fitser ns/op)" >&2
+        fail=1
+    fi
+
+    # The pooled fit workspace holds the small-n objective at zero
+    # steady-state allocations (the in-process pin is
+    # TestFitObjectiveAllocs; this keeps the checked-in evidence honest).
+    fitallocs=$(awk '$1 ~ "^BenchmarkFitLML128(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="allocs/op") print $i }' "$rawfit")
+    if [ -z "$fitallocs" ]; then
+        echo "bench.sh: FAIL: BenchmarkFitLML128 did not run" >&2
+        fail=1
+    elif [ "$fitallocs" -gt 0 ]; then
+        echo "bench.sh: FAIL: FitLML128 allocates $fitallocs/op, budget 0" >&2
+        fail=1
+    fi
+
+    # Packed factor footprint at n=4096: at most 60% of the dense 2·n²·8
+    # baseline (268435456 B) the packed layout replaced. The packed value
+    # is 2·(n·(n+1)/2)·8 = 134250496 B, exactly 50% + one diagonal.
+    factor=$(awk '$1 ~ "^BenchmarkFitFactorBytes4096(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="factor-bytes") print $i }' "$rawfit")
+    if [ -z "$factor" ]; then
+        echo "bench.sh: FAIL: BenchmarkFitFactorBytes4096 did not run or did not report factor-bytes" >&2
+        fail=1
+    elif awk -v f="$factor" 'BEGIN { exit !(f > 161061273) }'; then
+        echo "bench.sh: FAIL: n=4096 factor footprint $factor B exceeds 60% of the dense baseline (161061273 B)" >&2
+        fail=1
+    fi
+
+    # The fantasy-chain bench must be present in the fit evidence so the
+    # shared-prefix extension cost can never silently go stale.
+    if [ -z "$(getfitns BenchmarkLargeNFantasize4096)" ]; then
+        echo "bench.sh: FAIL: BenchmarkLargeNFantasize4096 did not run in the fit suite" >&2
+        fail=1
+    fi
+
     if [ "$fail" = "1" ]; then
         exit 1
     fi
-    echo "bench.sh: alloc budgets, linalg floor and snapshot evidence hold"
+    echo "bench.sh: alloc budgets, linalg floor, snapshot and fit evidence hold"
 fi

@@ -66,6 +66,16 @@ go test -race \
     -run 'TestMulBlocked|TestMulIntoDispatch|TestAnyZero|TestEvalRowAuto|TestPredictJointParallelBitIdentity|TestExtendFreshFactorSkipsTransposeBuild|TestExtendColsMatchesExtend|TestExtendPathsAgree|TestEvalBatchUnboundedClampsGoroutines' \
     -count 1 ./internal/mat/ ./internal/kernel/ ./internal/gp/ ./internal/parallel/
 
+echo "== fit-path bit-identity property tests under -race"
+# The fit-path scaling contracts (DESIGN.md §9): packed factorize/solve/
+# inverse/Extend vs the dense reference DAG, prefix inheritance along
+# fantasy chains, in-place refactorization, the banded parallel Gram /
+# gradient / inverse fills vs serial at GOMAXPROCS 1 and 8, and pooled
+# fit-workspace reuse.
+go test -race \
+    -run 'TestPackedFactorizeMatchesDense|TestPackedSolvesMatchDense|TestPackedSolveMatAndInverseMatchDense|TestPackedExtendMatchesDenseReference|TestInheritedPrefixSolveBitIdentity|TestInverseIntoParallelBitIdentity|TestRefactorizeMatchesNew|TestLRow|TestGramIntoMatchesPerPair|TestGramIntoParallelBitIdentity|TestLMLGradBandedBitIdentity|TestFitWorkspaceReuseBitIdentity|TestFantasyChainSharesPrefix' \
+    -count 1 ./internal/mat/ ./internal/gp/
+
 echo "== kill-and-resume determinism under -race"
 # Named explicitly so the crash-safe serving contracts cannot be silently
 # dropped from the gate: checkpoint/resume bit-identity at the ask/tell
@@ -82,13 +92,14 @@ go test -run 'Alloc' ./internal/mat/ ./internal/kernel/ ./internal/gp/
 echo "== benchmarks compile and run once"
 go test -run '^$' -bench . -benchtime 1x ./...
 
-echo "== bench.sh alloc budgets, linalg floor and snapshot evidence"
+echo "== bench.sh alloc budgets, linalg floor, snapshot and fit evidence"
 benchjson=$(mktemp)
 benchlinjson=$(mktemp)
 benchsnapjson=$(mktemp)
-BENCHTIME=100x BENCHTIME_LINALG=1x BENCHTIME_SNAPSHOT=1x \
-    OUT="$benchjson" OUT_LINALG="$benchlinjson" OUT_SNAPSHOT="$benchsnapjson" \
+benchfitjson=$(mktemp)
+BENCHTIME=100x BENCHTIME_LINALG=1x BENCHTIME_SNAPSHOT=1x BENCHTIME_FIT=1x \
+    OUT="$benchjson" OUT_LINALG="$benchlinjson" OUT_SNAPSHOT="$benchsnapjson" OUT_FIT="$benchfitjson" \
     ./scripts/bench.sh -check
-rm -f "$benchjson" "$benchlinjson" "$benchsnapjson"
+rm -f "$benchjson" "$benchlinjson" "$benchsnapjson" "$benchfitjson"
 
 echo "check.sh: all gates passed"
