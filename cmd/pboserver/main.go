@@ -59,13 +59,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	snapdir := fs.String("snapdir", "", "snapshot root directory (empty: no persistence)")
 	keep := fs.Int("keep", 0, "snapshots retained per session (0: default 5)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request handling timeout")
+	maxdone := fs.Int("maxdone", 0, "completed persisted sessions kept resident (0: unbounded); beyond it the oldest-completed are snapshotted a final time and unloaded, resumable on demand")
 	resume := fs.Bool("resume", false, "resume every persisted session at startup")
 	addrfile := fs.String("addrfile", "", "write the resolved listen address to this file (for :0 listeners)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := &serve.Server{SnapRoot: *snapdir, Keep: *keep, Timeout: *timeout}
+	srv := &serve.Server{SnapRoot: *snapdir, Keep: *keep, Timeout: *timeout, MaxDoneResident: *maxdone}
 	if *resume {
 		ids, err := srv.ResumeAll()
 		if err != nil {

@@ -112,6 +112,21 @@ func TestServerSIGTERMDrainAndResume(t *testing.T) {
 						t.Errorf("partial tell: %v", err)
 					}
 				}
+				// The metrics rollup sees the half-driven fleet: five
+				// successful asks, nine member-level tells, one pending
+				// batch, snapshots accumulating on disk. (Done is already
+				// true: the last cycle's batch has been asked, so the
+				// engine has no further work to hand out.)
+				if sm, err := c.ServerMetrics(ctx); err != nil {
+					t.Errorf("server metrics: %v", err)
+				} else if sm.Sessions != 1 || sm.Asks != 5 || sm.Tells != 9 || sm.Pending != 1 {
+					t.Errorf("server metrics before drain: %+v", sm)
+				}
+				if m, err := c.Metrics(ctx, spec.ID); err != nil {
+					t.Errorf("session metrics: %v", err)
+				} else if m.Mode != "sync" || m.Snapshots == 0 || m.SnapshotBytes == 0 {
+					t.Errorf("session metrics before drain: %+v", m)
+				}
 			}
 			if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
 				t.Errorf("kill: %v", err)
@@ -136,7 +151,7 @@ func TestServerSIGTERMDrainAndResume(t *testing.T) {
 	if err := parallel.ForEach(context.Background(), 2, 2, func(i int) {
 		switch i {
 		case 0:
-			runErr2 = run(ctx2, []string{"-addr", "127.0.0.1:0", "-snapdir", snapdir, "-resume", "-addrfile", addrfile2}, &log2)
+			runErr2 = run(ctx2, []string{"-addr", "127.0.0.1:0", "-snapdir", snapdir, "-resume", "-maxdone", "4", "-addrfile", addrfile2}, &log2)
 		case 1:
 			defer cancel2()
 			c := &serve.Client{BaseURL: "http://" + waitForAddr(t, addrfile2)}
@@ -190,6 +205,11 @@ func TestServerSIGTERMDrainAndResume(t *testing.T) {
 			got, err = c.Result(ctx, spec.ID)
 			if err != nil {
 				t.Errorf("result: %v", err)
+			}
+			if sm, err := c.ServerMetrics(ctx); err != nil {
+				t.Errorf("server metrics: %v", err)
+			} else if sm.DoneSessions != 1 || sm.Pending != 0 {
+				t.Errorf("server metrics after finish: %+v", sm)
 			}
 		}
 	}); err != nil {

@@ -30,10 +30,11 @@ import (
 var ErrDone = errors.New("core: optimization complete")
 
 // ErrNoBatchReady is returned by Ask when no new batch can be formed yet:
-// every initial-design point has been handed out but not all results have
-// been told, so the first model fit cannot run. Callers should tell
-// outstanding results and ask again.
-var ErrNoBatchReady = errors.New("core: no batch ready until outstanding initial-design results are told")
+// either every initial-design point has been handed out but not all
+// results have been told (so the first model fit cannot run), or — in
+// asynchronous mode — all BatchSize in-flight slots are occupied. Callers
+// should tell outstanding results and ask again.
+var ErrNoBatchReady = errors.New("core: no batch ready until outstanding results are told")
 
 // Batch is one unit of work handed out by Ask: q points to evaluate.
 // Cycle 0 identifies initial-design waves; acquisition batches carry their
@@ -57,6 +58,10 @@ type pendingBatch struct {
 	acqVirtual time.Duration
 	fallback   bool
 	reason     string
+	// start is the virtual clock at the moment the batch was handed out.
+	// Asynchronous tells complete the point at start + its evaluation
+	// latency; synchronous mode never reads it.
+	start time.Duration
 }
 
 // AskTell is the inverted engine: a resumable optimization run driven by
@@ -96,6 +101,11 @@ type AskTell struct {
 	nextID  int
 	pending map[int]*pendingBatch
 	order   []int // pending batch IDs in ask order, for deterministic snapshots
+
+	// fantasyFallbacks counts asynchronous cycles whose busy points could
+	// not be fantasized (surrogate.ErrUnsupported) and were handled by the
+	// local-penalty surrogate instead.
+	fantasyFallbacks int
 
 	failed error // sticky fatal error (model fit failure)
 }
@@ -177,15 +187,28 @@ func (at *AskTell) Ask(ctx context.Context) (*Batch, error) {
 		ctx = context.Background()
 	}
 
-	// Initial-design phase: hand out precomputed Latin-Hypercube waves.
+	// Initial-design phase: hand out precomputed Latin-Hypercube waves —
+	// whole q-waves synchronously, single points (capped at BatchSize in
+	// flight) asynchronously.
 	if at.designAsked < len(at.design) {
-		end := min(at.designAsked+at.cfg.BatchSize, len(at.design))
+		step := at.cfg.BatchSize
+		if at.cfg.Mode == Asynchronous {
+			if at.inFlightPoints() >= at.cfg.BatchSize {
+				return nil, ErrNoBatchReady
+			}
+			step = 1
+		}
+		end := min(at.designAsked+step, len(at.design))
 		b := at.addPending(0, at.design[at.designAsked:end], 0, 0, false, "")
 		at.designAsked = end
 		return b, nil
 	}
 	if at.designTold < len(at.design) {
 		return nil, ErrNoBatchReady
+	}
+
+	if at.cfg.Mode == Asynchronous {
+		return at.askAsync(ctx)
 	}
 
 	// Cycle phase. The guards run in the same order as the closed loop:
@@ -249,26 +272,28 @@ func (at *AskTell) Ask(ctx context.Context) (*Batch, error) {
 // consumes a parent draw, so even an aborted fit or propose advances
 // them), and the factory's and strategy's checkpointable state.
 type cycleRollback struct {
-	cycle         int
-	elapsed       time.Duration
-	model         surrogate.Surrogate
-	fitStream     []byte
-	acqStream     []byte
-	jitterStream  []byte
-	factoryState  []byte
-	hasFactory    bool
-	strategyState []byte
-	hasStrategy   bool
+	cycle            int
+	elapsed          time.Duration
+	model            surrogate.Surrogate
+	fantasyFallbacks int
+	fitStream        []byte
+	acqStream        []byte
+	jitterStream     []byte
+	factoryState     []byte
+	hasFactory       bool
+	strategyState    []byte
+	hasStrategy      bool
 }
 
 func (at *AskTell) captureCycle() (*cycleRollback, error) {
 	rb := &cycleRollback{
-		cycle:        at.cycle,
-		elapsed:      at.clock.Elapsed(),
-		model:        at.model,
-		fitStream:    at.fitStream.State(),
-		acqStream:    at.acqStream.State(),
-		jitterStream: at.jitterStream.State(),
+		cycle:            at.cycle,
+		elapsed:          at.clock.Elapsed(),
+		model:            at.model,
+		fantasyFallbacks: at.fantasyFallbacks,
+		fitStream:        at.fitStream.State(),
+		acqStream:        at.acqStream.State(),
+		jitterStream:     at.jitterStream.State(),
 	}
 	if fc, ok := at.factory.(FactoryCheckpointer); ok {
 		state, err := fc.FactoryState()
@@ -316,6 +341,7 @@ func (at *AskTell) rollbackCycle(rb *cycleRollback) error {
 	at.st.Cycle = rb.cycle
 	at.clock.elapsed = rb.elapsed
 	at.model = rb.model
+	at.fantasyFallbacks = rb.fantasyFallbacks
 	return nil
 }
 
@@ -372,7 +398,15 @@ func (at *AskTell) Tell(id int, ys []float64, costs []time.Duration) error {
 	}
 
 	evalVirtual := at.cfg.Pool.VirtualDuration(costs)
-	at.clock.AddSimulated(evalVirtual)
+	if at.cfg.Mode == Asynchronous {
+		// Event-driven accounting: the point completes at its ask-time
+		// clock plus its own latency (plus the pool's per-call overhead,
+		// via VirtualDuration on the singleton batch). Other points told
+		// in between may already have moved the clock past that instant.
+		at.clock.AdvanceTo(pb.start + evalVirtual)
+	} else {
+		at.clock.AddSimulated(evalVirtual)
+	}
 	at.st.Observe(pb.batch.Points, ys)
 	at.cfg.Strategy.Observe(at.st, pb.batch.Points, ys)
 	at.hook.OnEvaluate(pb.batch.Cycle, pb.batch.Points, ys, evalVirtual)
@@ -417,9 +451,18 @@ func (at *AskTell) fitModel(ctx context.Context, cycle int) (time.Duration, erro
 // AcqTime), with the closed loop's fallback-to-random and dedupe behavior.
 // A non-nil error is returned only for cancellation.
 func (at *AskTell) acquireBatch(ctx context.Context, cycle int) (batch [][]float64, virtual time.Duration, fallback bool, reason string, err error) {
+	return at.acquire(ctx, cycle, at.model, at.cfg.BatchSize, nil)
+}
+
+// acquire is acquireBatch parameterized for both modes: the synchronous
+// path passes the fitted model, q = BatchSize and no busy points (the
+// computation is bit-identical to the historical acquireBatch); the
+// asynchronous path passes the busy-conditioned model, q = 1 and the
+// in-flight points so replacements dedupe against them.
+func (at *AskTell) acquire(ctx context.Context, cycle int, model surrogate.Surrogate, q int, busy [][]float64) (batch [][]float64, virtual time.Duration, fallback bool, reason string, err error) {
 	cfg := &at.cfg
 	acqStart := at.now()
-	batch, perr := cfg.Strategy.Propose(ctx, at.model, at.st, cfg.BatchSize, at.acqStream.Split(uint64(cycle)))
+	batch, perr := cfg.Strategy.Propose(ctx, model, at.st, q, at.acqStream.Split(uint64(cycle)))
 	acqReal := at.now().Sub(acqStart)
 	if cerr := ctx.Err(); cerr != nil {
 		// A proposal cut short by cancellation is not a real batch; do
@@ -433,10 +476,10 @@ func (at *AskTell) acquireBatch(ctx context.Context, cycle int) (batch [][]float
 		} else {
 			reason = "empty batch"
 		}
-		batch = rng.UniformDesign(cfg.BatchSize, cfg.Problem.Lo, cfg.Problem.Hi, at.jitterStream)
+		batch = rng.UniformDesign(q, cfg.Problem.Lo, cfg.Problem.Hi, at.jitterStream)
 	}
-	batch = dedupeBatch(batch, at.st, at.jitterStream)
-	speedup := cfg.Strategy.APParallelism(cfg.BatchSize)
+	batch = dedupeBatch(batch, at.st, busy, at.jitterStream)
+	speedup := cfg.Strategy.APParallelism(q)
 	if speedup > cfg.Cores {
 		speedup = cfg.Cores
 	}
@@ -571,10 +614,18 @@ type Checkpoint struct {
 	Strategy string `json:"strategy"`
 	Batch    int    `json:"batch"`
 	Seed     uint64 `json:"seed"`
+	// Mode is the scheduling protocol the checkpoint was taken under
+	// (int value of core.Mode; absent means synchronous, so v1
+	// checkpoints resume unchanged). It is part of run identity: an
+	// asynchronous trace cannot be replayed by a synchronous engine.
+	Mode int `json:"mode,omitempty"`
 
 	ClockNS  int64 `json:"clock_ns"`
 	Cycle    int   `json:"cycle"`
 	Recorded int   `json:"recorded"`
+	// FantasyFallbacks counts async cycles that used the local-penalty
+	// surrogate because the model family cannot fantasize.
+	FantasyFallbacks int `json:"fantasy_fallbacks,omitempty"`
 
 	Design      [][]float64 `json:"design"`
 	DesignAsked int         `json:"design_asked"`
@@ -612,6 +663,9 @@ type PendingCheckpoint struct {
 	AcqNS    time.Duration `json:"acq_ns"`
 	Fallback bool          `json:"fallback,omitempty"`
 	Reason   string        `json:"reason,omitempty"`
+	// StartNS is the virtual clock at ask time (asynchronous mode only;
+	// absent in synchronous checkpoints, which never read it).
+	StartNS time.Duration `json:"start_ns,omitempty"`
 }
 
 // Checkpoint captures the run state at the current operation boundary. A
@@ -628,10 +682,12 @@ func (at *AskTell) Checkpoint() (*Checkpoint, error) {
 		Strategy: at.cfg.Strategy.Name(),
 		Batch:    at.cfg.BatchSize,
 		Seed:     at.cfg.Seed,
+		Mode:     int(at.cfg.Mode),
 
-		ClockNS:  int64(at.clock.Elapsed()),
-		Cycle:    at.cycle,
-		Recorded: at.recorded,
+		ClockNS:          int64(at.clock.Elapsed()),
+		Cycle:            at.cycle,
+		Recorded:         at.recorded,
+		FantasyFallbacks: at.fantasyFallbacks,
 
 		Design:      cloneMatrix(at.design),
 		DesignAsked: at.designAsked,
@@ -679,6 +735,7 @@ func (at *AskTell) Checkpoint() (*Checkpoint, error) {
 			AcqNS:    pb.acqVirtual,
 			Fallback: pb.fallback,
 			Reason:   pb.reason,
+			StartNS:  pb.start,
 		})
 	}
 	return c, nil
@@ -700,10 +757,10 @@ func ResumeAskTell(e *Engine, c *Checkpoint) (*AskTell, error) {
 		return nil, errors.New("core: nil checkpoint")
 	}
 	if c.Problem != cfg.Problem.Name || c.Strategy != cfg.Strategy.Name() ||
-		c.Batch != cfg.BatchSize || c.Seed != cfg.Seed {
-		return nil, fmt.Errorf("core: checkpoint (%s/%s q=%d seed=%d) does not match configuration (%s/%s q=%d seed=%d)",
-			c.Problem, c.Strategy, c.Batch, c.Seed,
-			cfg.Problem.Name, cfg.Strategy.Name(), cfg.BatchSize, cfg.Seed)
+		c.Batch != cfg.BatchSize || c.Seed != cfg.Seed || c.Mode != int(cfg.Mode) {
+		return nil, fmt.Errorf("core: checkpoint (%s/%s q=%d seed=%d %s) does not match configuration (%s/%s q=%d seed=%d %s)",
+			c.Problem, c.Strategy, c.Batch, c.Seed, Mode(c.Mode),
+			cfg.Problem.Name, cfg.Strategy.Name(), cfg.BatchSize, cfg.Seed, cfg.Mode)
 	}
 	if len(c.Design) != cfg.InitSamples {
 		return nil, fmt.Errorf("core: checkpoint has %d design points, configuration wants %d", len(c.Design), cfg.InitSamples)
@@ -748,14 +805,15 @@ func ResumeAskTell(e *Engine, c *Checkpoint) (*AskTell, error) {
 		jitterStream: jitterStream,
 		fitStream:    fitStream,
 		//lint:ignore detorder sanctioned default for the injectable clock seam; tests swap it out
-		now:         time.Now,
-		design:      cloneMatrix(c.Design),
-		designAsked: c.DesignAsked,
-		designTold:  c.DesignTold,
-		cycle:       c.Cycle,
-		recorded:    c.Recorded,
-		nextID:      c.NextID,
-		pending:     map[int]*pendingBatch{},
+		now:              time.Now,
+		design:           cloneMatrix(c.Design),
+		designAsked:      c.DesignAsked,
+		designTold:       c.DesignTold,
+		cycle:            c.Cycle,
+		recorded:         c.Recorded,
+		nextID:           c.NextID,
+		fantasyFallbacks: c.FantasyFallbacks,
+		pending:          map[int]*pendingBatch{},
 		res: &Result{
 			Problem:   cfg.Problem.Name,
 			Strategy:  cfg.Strategy.Name(),
@@ -799,6 +857,7 @@ func ResumeAskTell(e *Engine, c *Checkpoint) (*AskTell, error) {
 			acqVirtual: pc.AcqNS,
 			fallback:   pc.Fallback,
 			reason:     pc.Reason,
+			start:      pc.StartNS,
 		}
 		at.order = append(at.order, pc.ID)
 	}

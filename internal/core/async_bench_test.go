@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// heteroSphere is the throughput benchmark's workload: the 2-d sphere with
+// a deterministic heterogeneous latency — each point costs between 5 and
+// 15 virtual seconds as a pure function of its first coordinate. This is
+// the regime the asynchronous protocol exists for: under the batch
+// barrier every wave is charged its slowest member, while the async
+// schedule hands a straggler's idle slots replacement work.
+func heteroSphere() *Problem {
+	lo := []float64{-3, -3}
+	hi := []float64{3, 3}
+	return &Problem{
+		Name: "hetero-sphere", Lo: lo, Hi: hi, Minimize: true,
+		Evaluator: parallel.EvaluatorFunc(func(x []float64) (float64, time.Duration) {
+			frac := (x[0] + 3) / 6
+			return x[0]*x[0] + x[1]*x[1], 5*time.Second + time.Duration(frac*float64(10*time.Second))
+		}),
+	}
+}
+
+// benchThroughputEngine is a budget-bounded engine (no MaxCycles): the run
+// ends when the virtual clock crosses Budget, so evaluation throughput —
+// not a fixed cycle count — decides how many points each protocol fits in.
+func benchThroughputEngine(mode Mode) *Engine {
+	return &Engine{
+		Problem:        heteroSphere(),
+		Mode:           mode,
+		Strategy:       &randomStrategy{},
+		BatchSize:      4,
+		InitSamples:    8,
+		Budget:         4 * time.Minute,
+		OverheadFactor: 1,
+		Pool:           &parallel.Pool{Workers: 4},
+		Model:          ModelConfig{Restarts: 1, MaxIter: 10, FitSubsetMax: 48},
+		Seed:           9,
+	}
+}
+
+// virtualThroughput reports the benchmark's custom metric: acquisition
+// evaluations completed per virtual hour.
+func virtualThroughput(res *Result) float64 {
+	if res.Virtual <= 0 {
+		return 0
+	}
+	return float64(res.Evals-res.InitEvals) / res.Virtual.Hours()
+}
+
+// BenchmarkSyncVirtualThroughput runs the batch-synchronous closed loop to
+// budget exhaustion and reports evals-per-vhour. Paired with the async
+// benchmark below, it is the evidence behind the paper's motivating claim;
+// bench.sh -check enforces async >= sync on this metric.
+func BenchmarkSyncVirtualThroughput(b *testing.B) {
+	var metric float64
+	for i := 0; i < b.N; i++ {
+		res, err := benchThroughputEngine(Synchronous).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		metric = virtualThroughput(res)
+	}
+	b.ReportMetric(metric, "evals-per-vhour")
+}
+
+// BenchmarkAsyncVirtualThroughput drives the asynchronous protocol with a
+// simulated 4-worker fleet in virtual time: every free slot is filled, and
+// the point with the earliest virtual completion instant (ask-time clock
+// plus its own latency) is told first — the completion order a real
+// parallel fleet would produce. Reports evals-per-vhour.
+func BenchmarkAsyncVirtualThroughput(b *testing.B) {
+	var metric float64
+	for i := 0; i < b.N; i++ {
+		e := benchThroughputEngine(Asynchronous)
+		at, err := NewAskTell(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := driveAsyncEarliestFinish(b, e, at)
+		metric = virtualThroughput(res)
+	}
+	b.ReportMetric(metric, "evals-per-vhour")
+}
+
+// driveAsyncEarliestFinish simulates parallel workers against the virtual
+// clock: fill every in-flight slot, then complete the pending point whose
+// (deterministic) finish instant comes first.
+func driveAsyncEarliestFinish(b *testing.B, e *Engine, at *AskTell) *Result {
+	b.Helper()
+	type inflight struct {
+		batch  *Batch
+		finish time.Duration
+	}
+	ctx := context.Background()
+	ev := e.Problem.Evaluator
+	var pend []inflight
+	for {
+		filling := true
+		for filling {
+			bt, err := at.Ask(ctx)
+			switch {
+			case err == nil:
+				// The ask-time clock is the point's virtual start; its own
+				// latency is a pure function of the point, so the finish
+				// instant is known the moment the slot fills.
+				_, cost := ev.Eval(bt.Points[0])
+				pend = append(pend, inflight{batch: bt, finish: at.Result().Virtual + cost})
+			case errors.Is(err, ErrNoBatchReady), errors.Is(err, ErrDone):
+				filling = false
+			default:
+				b.Fatal(err)
+			}
+		}
+		if len(pend) == 0 {
+			if !at.Done() {
+				b.Fatal("no pending work but run not done")
+			}
+			return at.Result()
+		}
+		k := 0
+		for i := range pend {
+			if pend[i].finish < pend[k].finish {
+				k = i
+			}
+		}
+		next := pend[k]
+		pend = append(pend[:k], pend[k+1:]...)
+		y, cost := ev.Eval(next.batch.Points[0])
+		if err := at.Tell(next.batch.ID, []float64{y}, []time.Duration{cost}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -36,6 +36,35 @@ import (
 // partial: it covers every cycle that completed before the interruption.
 var ErrInterrupted = errors.New("core: run interrupted")
 
+// Mode selects the engine's scheduling protocol.
+type Mode int
+
+const (
+	// Synchronous is the paper's batch-synchronous protocol: every cycle
+	// proposes q points at once and all q results must be told before the
+	// next cycle can be asked. The zero value, so existing configurations
+	// keep their exact behavior (the golden traces pin it bit-for-bit).
+	Synchronous Mode = iota
+	// Asynchronous removes the batch barrier: Ask hands out single-point
+	// batches up to BatchSize in flight, and a replacement point becomes
+	// available the moment any Tell lands. Still-busy points are treated
+	// as Kriging-Believer fantasy observations during acquisition (or via
+	// a local-penalty surrogate when the model family cannot fantasize),
+	// following aphBO-2GP-3B and GP-UCB-PE. Each Tell advances the
+	// virtual clock to the told point's completion time, so a run charges
+	// the same event-driven schedule a real asynchronous worker pool
+	// would produce.
+	Asynchronous
+)
+
+// String names the mode as the serve layer spells it.
+func (m Mode) String() string {
+	if m == Asynchronous {
+		return "async"
+	}
+	return "sync"
+}
+
 // Problem is a black-box optimization problem with box bounds.
 type Problem struct {
 	// Name identifies the problem in reports.
@@ -107,6 +136,17 @@ func (c *Clock) AddMeasured(d time.Duration) {
 
 // Elapsed returns the virtual time consumed so far.
 func (c *Clock) Elapsed() time.Duration { return c.elapsed }
+
+// AdvanceTo moves the clock forward to t if t is in the future and is a
+// no-op otherwise. Asynchronous tells use it: a point's completion time
+// (ask-time clock plus its evaluation latency) may lie before the current
+// clock when a slower point told first — simulated time never runs
+// backwards.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t > c.elapsed {
+		c.elapsed = t
+	}
+}
 
 // State is the evolving dataset of an optimization run, shared with the
 // batch acquisition strategy.
@@ -353,8 +393,14 @@ type Engine struct {
 	Problem *Problem
 	// Strategy is the batch acquisition process (required).
 	Strategy Strategy
+	// Mode selects the scheduling protocol: Synchronous (the default, the
+	// paper's batch barrier) or Asynchronous (single-point replacement
+	// asks, BatchSize points in flight, busy points fantasized).
+	Mode Mode
 	// BatchSize is q, the number of candidates per cycle (default 4, the
-	// paper's recommended trade-off).
+	// paper's recommended trade-off). In asynchronous mode it is the
+	// in-flight cap — the number of simulator workers — rather than a
+	// proposal size.
 	BatchSize int
 	// InitSamples sizes the initial Latin-Hypercube design (default
 	// 16·BatchSize, Table 2). The initial design does not consume Budget,
@@ -485,10 +531,12 @@ func interrupted(phase string, cause error) error {
 	return fmt.Errorf("%w during %s: %w", ErrInterrupted, phase, cause)
 }
 
-// dedupeBatch nudges candidates that collide with existing observations or
-// with each other; duplicate points make the GP gram matrix singular and
-// waste a simulation.
-func dedupeBatch(batch [][]float64, st *State, stream *rng.Stream) [][]float64 {
+// dedupeBatch nudges candidates that collide with existing observations,
+// with each other, or with still-busy (asked, untold) points; duplicate
+// points make the GP gram matrix singular and waste a simulation. busy is
+// nil in synchronous mode — no extra comparisons, no extra stream draws,
+// so the golden traces are untouched.
+func dedupeBatch(batch [][]float64, st *State, busy [][]float64, stream *rng.Stream) [][]float64 {
 	p := st.Problem
 	tol := 1e-9
 	tooClose := func(a, b []float64) bool {
@@ -508,6 +556,14 @@ func dedupeBatch(batch [][]float64, st *State, stream *rng.Stream) [][]float64 {
 				if tooClose(c, prev) {
 					collision = true
 					break
+				}
+			}
+			if !collision {
+				for _, prev := range busy {
+					if tooClose(c, prev) {
+						collision = true
+						break
+					}
 				}
 			}
 			if !collision {

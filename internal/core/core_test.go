@@ -247,7 +247,7 @@ func TestDedupeBatch(t *testing.T) {
 	st := &State{Problem: p}
 	st.Observe([][]float64{{1, 1}}, []float64{2})
 	stream := rng.New(9, 9)
-	batch := dedupeBatch([][]float64{{1, 1}, {1, 1}, {2, 2}}, st, stream)
+	batch := dedupeBatch([][]float64{{1, 1}, {1, 1}, {2, 2}}, st, nil, stream)
 	if len(batch) != 3 {
 		t.Fatalf("batch length %d", len(batch))
 	}

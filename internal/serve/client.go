@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/session"
@@ -133,6 +135,41 @@ func (c *Client) Ask(ctx context.Context, id string) (b *core.Batch, done bool, 
 	return ar.Batch, ar.Done, nil
 }
 
+// AskWait long-polls for the next batch: the server holds the request up
+// to wait until a slot frees (asynchronous sessions free one on every
+// tell) instead of making the caller spin on ErrNotReady. Semantics
+// otherwise match Ask; the server caps wait below its request timeout.
+func (c *Client) AskWait(ctx context.Context, id string, wait time.Duration) (b *core.Batch, done bool, err error) {
+	path := "/v1/sessions/" + id + "/ask?wait=" + url.QueryEscape(wait.String())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve client: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve client: ask-wait %s: %w", id, err)
+	}
+	defer func() {
+		//lint:ignore errcheck response body close failures carry no information after a full read
+		_ = resp.Body.Close()
+	}()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, false, fmt.Errorf("serve client: ask-wait %s: %w", id, err)
+	}
+	switch {
+	case resp.StatusCode == http.StatusConflict:
+		return nil, false, fmt.Errorf("serve client: ask-wait %s: %w", id, ErrNotReady)
+	case resp.StatusCode != http.StatusOK:
+		return nil, false, fmt.Errorf("serve client: ask-wait %s: %d: %s", id, resp.StatusCode, raw)
+	}
+	var ar AskResponse
+	if err := json.Unmarshal(raw, &ar); err != nil {
+		return nil, false, fmt.Errorf("serve client: ask-wait %s: decode: %w", id, err)
+	}
+	return ar.Batch, ar.Done, nil
+}
+
 // Tell submits evaluated members and returns the refreshed status.
 func (c *Client) Tell(ctx context.Context, id string, results []session.EvalResult) (session.Status, error) {
 	var st session.Status
@@ -184,4 +221,24 @@ func (c *Client) Resume(ctx context.Context, id string) (session.Status, error) 
 	var st session.Status
 	err := c.do(ctx, http.MethodPost, "/v1/sessions/"+id+"/resume", nil, &st)
 	return st, err
+}
+
+// Metrics fetches one session's usage counters.
+func (c *Client) Metrics(ctx context.Context, id string) (session.Metrics, error) {
+	var m session.Metrics
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/metrics", nil, &m)
+	return m, err
+}
+
+// ServerMetrics fetches the whole-server counter rollup.
+func (c *Client) ServerMetrics(ctx context.Context) (ServerMetrics, error) {
+	var m ServerMetrics
+	err := c.do(ctx, http.MethodGet, "/v1/metrics", nil, &m)
+	return m, err
+}
+
+// Evict snapshots a session one final time and unloads it from the live
+// registry; persisted sessions can be resumed later.
+func (c *Client) Evict(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
 }

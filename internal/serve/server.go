@@ -28,11 +28,21 @@ type Server struct {
 	Keep int
 	// Timeout bounds each request's handling time (default 30s).
 	Timeout time.Duration
+	// MaxDoneResident bounds how many completed persisted sessions stay
+	// in the live registry; beyond it the oldest-completed are snapshotted
+	// one final time and unloaded (resume brings them back on demand).
+	// Zero means unbounded. Completed sessions without a store are never
+	// auto-evicted — unloading them would destroy their results.
+	MaxDoneResident int
 	// Now overrides the sessions' measured-time source (tests).
 	Now func() time.Time
 
 	mu       sync.RWMutex
 	sessions map[string]*entry
+	// doneOrder lists persisted sessions in completion-observation order —
+	// the eviction FIFO. Count-based (not time-based) so the server stays
+	// deterministic under injected clocks.
+	doneOrder []string
 }
 
 type entry struct {
@@ -219,27 +229,102 @@ func (s *Server) Drain(ctx context.Context) error {
 	return firstErr
 }
 
+// noteDone records that a session has been observed complete, feeding the
+// eviction FIFO; beyond MaxDoneResident the oldest-completed persisted
+// sessions are snapshotted one final time and unloaded. Observing the
+// same session twice is a no-op, and store-less sessions are never
+// auto-evicted (unloading them would destroy their only copy).
+func (s *Server) noteDone(id string) {
+	if s.MaxDoneResident <= 0 {
+		return
+	}
+	s.mu.Lock()
+	e, ok := s.sessions[id]
+	if ok && e.sess.Persistent() && !containsString(s.doneOrder, id) {
+		s.doneOrder = append(s.doneOrder, id)
+	}
+	var evicted []*entry
+	for len(s.doneOrder) > s.MaxDoneResident {
+		oldest := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		if old, ok := s.sessions[oldest]; ok {
+			evicted = append(evicted, old)
+			delete(s.sessions, oldest)
+		}
+	}
+	s.mu.Unlock()
+	for _, old := range evicted {
+		// Belt-and-braces: every state transition already snapshotted, so
+		// the newest on-disk frame equals the live state; a failure here
+		// loses nothing that was not already durable.
+		//lint:ignore errcheck final state is already on disk from the per-operation snapshots
+		_ = old.sess.Snapshot()
+	}
+}
+
+func containsString(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Evict snapshots a session one final time and removes it from the live
+// registry. Persisted sessions can be resumed later; evicting a
+// store-less session discards its state — allowed here because the caller
+// asked, while automatic done-eviction skips them.
+func (s *Server) Evict(id string) error {
+	s.mu.Lock()
+	e, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: session %q: %w", id, ErrUnknownSession)
+	}
+	delete(s.sessions, id)
+	for i, d := range s.doneOrder {
+		if d == id {
+			s.doneOrder = append(s.doneOrder[:i], s.doneOrder[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	if err := e.sess.Snapshot(); err != nil {
+		return fmt.Errorf("serve: evict %s: %w", id, err)
+	}
+	return nil
+}
+
 // Handler returns the API's http.Handler with the request timeout
 // applied. Routes:
 //
-//	POST /v1/sessions                  create (body: SessionSpec)
-//	GET  /v1/sessions                  list session IDs
-//	GET  /v1/sessions/{id}             status
-//	POST /v1/sessions/{id}/ask         next batch, or done/not-ready
-//	POST /v1/sessions/{id}/tell        ingest results (body: TellRequest)
-//	GET  /v1/sessions/{id}/result      full core.Result JSON
-//	GET  /v1/sessions/{id}/pending     in-flight batches + receipt masks
-//	GET  /v1/sessions/{id}/snapshots   snapshot file names, oldest first
-//	POST /v1/sessions/{id}/resume      resume a persisted session
+//	POST   /v1/sessions                  create (body: SessionSpec)
+//	GET    /v1/sessions                  list session IDs
+//	GET    /v1/metrics                   per-session counters + rollup
+//	GET    /v1/sessions/{id}             status
+//	DELETE /v1/sessions/{id}             final snapshot, then unload
+//	POST   /v1/sessions/{id}/ask         next batch, or done/not-ready
+//	GET    /v1/sessions/{id}/ask         long-poll ask (?wait=duration)
+//	POST   /v1/sessions/{id}/tell        ingest results (body: TellRequest)
+//	GET    /v1/sessions/{id}/result      full core.Result JSON
+//	GET    /v1/sessions/{id}/pending     in-flight batches + receipt masks
+//	GET    /v1/sessions/{id}/metrics     session usage counters
+//	GET    /v1/sessions/{id}/snapshots   snapshot file names, oldest first
+//	POST   /v1/sessions/{id}/resume      resume a persisted session
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /v1/sessions", s.handleList)
+	mux.HandleFunc("GET /v1/metrics", s.handleServerMetrics)
 	mux.HandleFunc("GET /v1/sessions/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEvict)
 	mux.HandleFunc("POST /v1/sessions/{id}/ask", s.handleAsk)
+	mux.HandleFunc("GET /v1/sessions/{id}/ask", s.handleAskWait)
 	mux.HandleFunc("POST /v1/sessions/{id}/tell", s.handleTell)
 	mux.HandleFunc("GET /v1/sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/sessions/{id}/pending", s.handlePending)
+	mux.HandleFunc("GET /v1/sessions/{id}/metrics", s.handleSessionMetrics)
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshots", s.handleSnapshots)
 	mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
 	return http.TimeoutHandler(mux, s.timeout(), `{"error":"request timed out"}`)
@@ -315,16 +400,52 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAsk(w http.ResponseWriter, r *http.Request) {
 	s.withSession(w, r, func(e *entry) {
 		b, err := e.sess.Ask(r.Context())
-		switch {
-		case errors.Is(err, session.ErrDone):
-			writeJSON(w, http.StatusOK, AskResponse{Done: true})
-		case errors.Is(err, core.ErrNoBatchReady):
-			writeError(w, http.StatusConflict, err)
-		case err != nil:
-			writeError(w, http.StatusInternalServerError, err)
-		default:
-			writeJSON(w, http.StatusOK, AskResponse{Batch: b})
+		s.writeAskOutcome(w, e, b, err)
+	})
+}
+
+// writeAskOutcome maps an Ask/AwaitAsk result onto the wire contract
+// shared by the plain and long-poll ask routes, and feeds the eviction
+// FIFO when the response reveals completion.
+func (s *Server) writeAskOutcome(w http.ResponseWriter, e *entry, b *core.Batch, err error) {
+	switch {
+	case errors.Is(err, session.ErrDone):
+		s.noteDone(e.spec.ID)
+		writeJSON(w, http.StatusOK, AskResponse{Done: true})
+	case errors.Is(err, core.ErrNoBatchReady):
+		writeError(w, http.StatusConflict, err)
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, AskResponse{Batch: b})
+	}
+}
+
+// handleAskWait is the long-poll ask: GET with ?wait=<duration> blocks
+// until a slot frees up, the run completes, or the wait expires (409,
+// same as the plain-ask not-ready contract). The wait is capped half a
+// second below the server's request timeout so the TimeoutHandler never
+// kills a healthy long-poll mid-flight; no or zero wait degrades to a
+// plain ask.
+func (s *Server) handleAskWait(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		var wait time.Duration
+		if q := r.URL.Query().Get("wait"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d < 0 {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad wait %q (want a non-negative Go duration)", q))
+				return
+			}
+			wait = d
 		}
+		if maxWait := s.timeout() - 500*time.Millisecond; wait > maxWait {
+			wait = maxWait
+		}
+		if wait < 0 {
+			wait = 0
+		}
+		b, err := e.sess.AwaitAsk(r.Context(), wait)
+		s.writeAskOutcome(w, e, b, err)
 	})
 }
 
@@ -339,8 +460,35 @@ func (s *Server) handleTell(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusConflict, err)
 			return
 		}
-		writeJSON(w, http.StatusOK, e.sess.Status())
+		status := e.sess.Status()
+		if status.Done {
+			s.noteDone(e.spec.ID)
+		}
+		writeJSON(w, http.StatusOK, status)
 	})
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.Evict(id); err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownSession) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
+}
+
+func (s *Server) handleSessionMetrics(w http.ResponseWriter, r *http.Request) {
+	s.withSession(w, r, func(e *entry) {
+		writeJSON(w, http.StatusOK, e.sess.Metrics())
+	})
+}
+
+func (s *Server) handleServerMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
@@ -385,3 +533,48 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 // ErrExists reports a create under an ID that is already live; handlers
 // map it to HTTP 409.
 var ErrExists = errors.New("session already exists")
+
+// ErrUnknownSession reports an operation against an ID that is not in the
+// live registry; handlers map it to HTTP 404.
+var ErrUnknownSession = errors.New("unknown session")
+
+// ServerMetrics is the /v1/metrics body: counter totals across every live
+// session plus the per-session breakdown, sorted by ID.
+type ServerMetrics struct {
+	Sessions         int   `json:"sessions"`
+	DoneSessions     int   `json:"done_sessions"`
+	Asks             int64 `json:"asks"`
+	Tells            int64 `json:"tells"`
+	Pending          int   `json:"pending"`
+	FantasyFallbacks int   `json:"fantasy_fallbacks"`
+	Snapshots        int64 `json:"snapshots"`
+	SnapshotBytes    int64 `json:"snapshot_bytes"`
+
+	PerSession []session.Metrics `json:"per_session,omitempty"`
+}
+
+// Metrics aggregates usage counters across the live registry. Evicted
+// sessions drop out of the rollup — the counters describe resident load,
+// not lifetime history.
+func (s *Server) Metrics() ServerMetrics {
+	var out ServerMetrics
+	for _, id := range s.IDs() {
+		e, ok := s.get(id)
+		if !ok {
+			continue
+		}
+		m := e.sess.Metrics()
+		out.Sessions++
+		if m.Done {
+			out.DoneSessions++
+		}
+		out.Asks += m.Asks
+		out.Tells += m.Tells
+		out.Pending += m.Pending
+		out.FantasyFallbacks += m.FantasyFallbacks
+		out.Snapshots += m.Snapshots
+		out.SnapshotBytes += m.SnapshotBytes
+		out.PerSession = append(out.PerSession, m)
+	}
+	return out
+}

@@ -51,6 +51,11 @@ type SessionSpec struct {
 	Problem ProblemSpec `json:"problem"`
 	// Strategy is a registry name (strategy.Names or ExtendedNames).
 	Strategy string `json:"strategy"`
+	// Mode selects the engine protocol: "" or "sync" for the
+	// batch-synchronous schedule, "async" for the asynchronous one
+	// (single-point asks, BatchSize in-flight slots, a replacement ask
+	// available after every tell).
+	Mode string `json:"mode,omitempty"`
 	// BatchSize, InitSamples, MaxCycles, Seed and OverheadFactor map
 	// directly onto the engine; zero values select engine defaults.
 	BatchSize      int       `json:"batch_size,omitempty"`
@@ -80,7 +85,21 @@ func (s *SessionSpec) Validate() error {
 	default:
 		return fmt.Errorf("serve: session %s: unknown problem kind %q", s.ID, s.Problem.Kind)
 	}
+	if _, err := s.mode(); err != nil {
+		return err
+	}
 	return nil
+}
+
+func (s *SessionSpec) mode() (core.Mode, error) {
+	switch s.Mode {
+	case "", "sync":
+		return core.Synchronous, nil
+	case "async":
+		return core.Asynchronous, nil
+	default:
+		return 0, fmt.Errorf("serve: session %s: unknown mode %q (want \"sync\" or \"async\")", s.ID, s.Mode)
+	}
 }
 
 // Engine assembles a fresh core.Engine from the spec. Each call returns
@@ -98,8 +117,13 @@ func (s *SessionSpec) Engine() (*core.Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: session %s: %w", s.ID, err)
 	}
+	mode, err := s.mode()
+	if err != nil {
+		return nil, err
+	}
 	return &core.Engine{
 		Problem:        problem,
+		Mode:           mode,
 		Strategy:       strat,
 		BatchSize:      s.BatchSize,
 		InitSamples:    s.InitSamples,

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"sync"
 	"time"
 
@@ -92,15 +93,36 @@ type Session struct {
 
 	partials map[int]*partial
 	order    []int
+
+	// changed is the broadcast channel for long-poll waiters: every
+	// state transition that could unblock an Ask closes it and installs
+	// a fresh one. Waiters grab the current channel under the lock, try
+	// their Ask, and only then block on the grabbed channel — a close
+	// between the grab and the block wakes them immediately, so no
+	// transition can be missed.
+	changed chan struct{}
+
+	// Usage counters; persisted in the snapshot payload so metrics
+	// survive crash-and-resume.
+	asks          int64
+	tells         int64
+	snapshots     int64
+	snapshotBytes int64
 }
 
 // payload is the snapshot schema: the engine checkpoint plus the
 // member-level partial-tell ledger (the engine ledger holds the batches
-// themselves; only the received members need extra state).
+// themselves; only the received members need extra state) and the usage
+// counters. The counter fields are omitempty-optional — absent in v1
+// frames, which therefore resume with zeroed metrics.
 type payload struct {
-	ID         string            `json:"id"`
-	Checkpoint *core.Checkpoint  `json:"checkpoint"`
-	Partials   []partialSnapshot `json:"partials,omitempty"`
+	ID            string            `json:"id"`
+	Checkpoint    *core.Checkpoint  `json:"checkpoint"`
+	Partials      []partialSnapshot `json:"partials,omitempty"`
+	Asks          int64             `json:"asks,omitempty"`
+	Tells         int64             `json:"tells,omitempty"`
+	Snapshots     int64             `json:"snapshots,omitempty"`
+	SnapshotBytes int64             `json:"snapshot_bytes,omitempty"`
 }
 
 type partialSnapshot struct {
@@ -122,7 +144,7 @@ func New(cfg Config) (*Session, error) {
 		return nil, err
 	}
 	at.SetNow(cfg.Now)
-	s := &Session{id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}}
+	s := &Session{id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}, changed: make(chan struct{})}
 	if err := s.snapshotLocked(); err != nil {
 		return nil, err
 	}
@@ -150,7 +172,20 @@ func Resume(cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("session: %s: %w", path, err)
 	}
 	at.SetNow(cfg.Now)
-	s := &Session{id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}}
+	s := &Session{
+		id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}, changed: make(chan struct{}),
+		asks: p.Asks, tells: p.Tells, snapshots: p.Snapshots, snapshotBytes: p.SnapshotBytes,
+	}
+	// The payload records the counters as of the moment before its own
+	// frame was written; the frame we just loaded is itself one snapshot
+	// of its own size, so account for it — resumed metrics match the
+	// killed session's exactly.
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	s.snapshots++
+	s.snapshotBytes += fi.Size()
 
 	pending := at.Pending()
 	byID := map[int]core.Batch{}
@@ -201,10 +236,49 @@ func (s *Session) Ask(ctx context.Context) (*core.Batch, error) {
 		got:   make([]bool, len(b.Points)),
 	}
 	s.order = append(s.order, b.ID)
+	s.asks++
 	if err := s.snapshotLocked(); err != nil {
 		return nil, err
 	}
 	return b, nil
+}
+
+// AwaitAsk is Ask with a bounded wait — the long-poll primitive. When no
+// batch is ready (asynchronous in-flight slots full, or a synchronous
+// design wave outstanding at other workers), it blocks until a Tell
+// changes the session state, then retries, until wait expires — in which
+// case it returns core.ErrNoBatchReady like a plain Ask would. Terminal
+// conditions (ErrDone, engine failure, ctx cancellation) return
+// immediately. Waiters hold no lock while blocked, so asks and tells from
+// other workers proceed freely underneath any number of waiters.
+func (s *Session) AwaitAsk(ctx context.Context, wait time.Duration) (*core.Batch, error) {
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for {
+		// Grab the broadcast channel BEFORE trying the Ask: a Tell that
+		// lands between a failed Ask and the select below has already
+		// closed this grabbed channel, so the wakeup cannot be missed.
+		s.mu.Lock()
+		ch := s.changed
+		s.mu.Unlock()
+		b, err := s.Ask(ctx)
+		if err == nil || !errors.Is(err, core.ErrNoBatchReady) {
+			return b, err
+		}
+		select {
+		case <-ch:
+		case <-timer.C:
+			return nil, core.ErrNoBatchReady
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// notifyLocked wakes every blocked AwaitAsk waiter. Callers hold s.mu.
+func (s *Session) notifyLocked() {
+	close(s.changed)
+	s.changed = make(chan struct{})
 }
 
 // Tell ingests evaluated members, in any order and any grouping; a batch
@@ -248,6 +322,7 @@ func (s *Session) Tell(ctx context.Context, results []EvalResult) error {
 		p.got[r.Member] = true
 		p.n++
 	}
+	s.tells += int64(len(results))
 
 	// Forward every batch that just completed, in ask order — the order
 	// the closed loop would have told them, keeping sequential drivers
@@ -261,6 +336,7 @@ func (s *Session) Tell(ctx context.Context, results []EvalResult) error {
 		if p.n == len(p.batch.Points) {
 			if err := s.at.Tell(id, p.ys, p.costs); err != nil {
 				s.order = append(remaining, s.order[i:]...)
+				s.notifyLocked()
 				return err
 			}
 			delete(s.partials, id)
@@ -269,7 +345,12 @@ func (s *Session) Tell(ctx context.Context, results []EvalResult) error {
 		remaining = append(remaining, id)
 	}
 	s.order = remaining
-	return s.snapshotLocked()
+	err := s.snapshotLocked()
+	// Wake long-poll waiters last, after the advanced state is durable:
+	// an engine-level tell may have freed an asynchronous in-flight slot
+	// (or completed a design wave), making a blocked Ask succeed.
+	s.notifyLocked()
+	return err
 }
 
 // Status reports the session's current progress.
@@ -301,6 +382,82 @@ func (s *Session) Status() Status {
 	return st
 }
 
+// Metrics is a point-in-time counter snapshot of one session. Asks,
+// Tells, Snapshots and SnapshotBytes are cumulative (and survive
+// crash-and-resume via the snapshot payload); Pending counts in-flight
+// batches and PendingMembers their not-yet-received members;
+// FantasyFallbacks is the engine's count of asynchronous proposals that
+// fell back to the local-penalty surrogate.
+type Metrics struct {
+	ID               string `json:"id"`
+	Mode             string `json:"mode"`
+	Done             bool   `json:"done"`
+	Asks             int64  `json:"asks"`
+	Tells            int64  `json:"tells"`
+	Pending          int    `json:"pending"`
+	PendingMembers   int    `json:"pending_members"`
+	FantasyFallbacks int    `json:"fantasy_fallbacks"`
+	Snapshots        int64  `json:"snapshots"`
+	SnapshotBytes    int64  `json:"snapshot_bytes"`
+}
+
+// Metrics reports the session's usage counters.
+func (s *Session) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m := Metrics{
+		ID:               s.id,
+		Mode:             s.at.Mode().String(),
+		Done:             s.at.Done(),
+		Asks:             s.asks,
+		Tells:            s.tells,
+		Pending:          len(s.order),
+		FantasyFallbacks: s.at.FantasyFallbacks(),
+		Snapshots:        s.snapshots,
+		SnapshotBytes:    s.snapshotBytes,
+	}
+	for _, id := range s.order {
+		p := s.partials[id]
+		m.PendingMembers += len(p.batch.Points) - p.n
+	}
+	return m
+}
+
+// Member is one in-flight point flattened out of the batch ledger, with a
+// deterministic ID — "<batchID>:<index>", stable across checkpoint and
+// resume because batch IDs are engine-assigned sequence numbers.
+type Member struct {
+	ID       string    `json:"id"`
+	BatchID  int       `json:"batch_id"`
+	Index    int       `json:"index"`
+	Cycle    int       `json:"cycle"`
+	Point    []float64 `json:"point"`
+	Received bool      `json:"received"`
+}
+
+// InFlight returns the flat member-level view of the in-flight set, in
+// ask order — the rolling work queue an asynchronous worker pool divides
+// among itself.
+func (s *Session) InFlight() []Member {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Member
+	for _, id := range s.order {
+		p := s.partials[id]
+		for m, x := range p.batch.Points {
+			out = append(out, Member{
+				ID:       fmt.Sprintf("%d:%d", id, m),
+				BatchID:  id,
+				Index:    m,
+				Cycle:    p.batch.Cycle,
+				Point:    append([]float64(nil), x...),
+				Received: p.got[m],
+			})
+		}
+	}
+	return out
+}
+
 // PendingBatch is an in-flight batch together with the member-level
 // receipt mask — everything a worker pool needs to pick up (or, after a
 // crash that lost results in flight, re-evaluate) outstanding work.
@@ -323,6 +480,9 @@ func (s *Session) PendingWork() []PendingBatch {
 	}
 	return out
 }
+
+// Persistent reports whether the session writes snapshots.
+func (s *Session) Persistent() bool { return s.store != nil }
 
 // Done reports whether the run is complete.
 func (s *Session) Done() bool {
@@ -365,7 +525,11 @@ func (s *Session) snapshotLocked() error {
 	if err != nil {
 		return fmt.Errorf("session: %w", err)
 	}
-	p := payload{ID: s.id, Checkpoint: cp}
+	p := payload{
+		ID: s.id, Checkpoint: cp,
+		Asks: s.asks, Tells: s.tells,
+		Snapshots: s.snapshots, SnapshotBytes: s.snapshotBytes,
+	}
 	for _, id := range s.order {
 		pt := s.partials[id]
 		costs := make([]int64, len(pt.costs))
@@ -379,8 +543,14 @@ func (s *Session) snapshotLocked() error {
 			Got:     pt.got,
 		})
 	}
-	if _, err := s.store.Save(&p); err != nil {
+	frame, err := snapshot.Encode(&p)
+	if err != nil {
 		return fmt.Errorf("session: %w", err)
 	}
+	if _, err := s.store.SaveEncoded(frame); err != nil {
+		return fmt.Errorf("session: %w", err)
+	}
+	s.snapshots++
+	s.snapshotBytes += int64(len(frame))
 	return nil
 }

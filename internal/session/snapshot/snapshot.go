@@ -27,7 +27,19 @@ import (
 // frame layout and the payload schema together: any change to either —
 // new required field, changed field meaning, different checksum — must
 // bump it and teach Decode the old layouts it still supports.
-const Version = 1
+//
+// Version history:
+//
+//	1 — initial frame: session payload with engine checkpoint + partials.
+//	2 — asynchronous engine era: payloads may carry the engine Mode, the
+//	    per-pending-batch start offsets and the session usage counters.
+//	    Every new field is optional with a zero-value default matching v1
+//	    semantics (synchronous mode, zero counters), so v1 frames decode
+//	    unchanged and the frame layout is identical.
+const Version = 2
+
+// minVersion is the oldest format Decode still reads.
+const minVersion = 1
 
 // magic identifies snapshot files; the trailing NUL guards against text
 // files that merely start with the same letters.
@@ -70,8 +82,8 @@ func Decode(data []byte, v any) error {
 		return fmt.Errorf("%w: bad magic", ErrCorrupt)
 	}
 	version := binary.BigEndian.Uint32(data[8:])
-	if version != Version {
-		return fmt.Errorf("snapshot: format version %d not supported (this build reads %d)", version, Version)
+	if version < minVersion || version > Version {
+		return fmt.Errorf("snapshot: format version %d not supported (this build reads %d-%d)", version, minVersion, Version)
 	}
 	plen := binary.BigEndian.Uint64(data[12:])
 	if plen != uint64(len(data)-headerSize) {
@@ -114,6 +126,14 @@ func (s *Store) Save(v any) (path string, err error) {
 	if err != nil {
 		return "", err
 	}
+	return s.SaveEncoded(frame)
+}
+
+// SaveEncoded writes an already-Encoded frame as the next snapshot in
+// sequence, with Save's atomicity and pruning. Callers that need the
+// frame size — the session's snapshot-bytes accounting — encode once and
+// pass the frame here instead of paying a second encode.
+func (s *Store) SaveEncoded(frame []byte) (path string, err error) {
 	if err := os.MkdirAll(s.Dir, 0o755); err != nil {
 		return "", fmt.Errorf("snapshot: %w", err)
 	}

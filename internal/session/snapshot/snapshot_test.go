@@ -73,6 +73,35 @@ func TestDecodeRejectsCorruption(t *testing.T) {
 	}
 }
 
+// TestDecodeReadsAllSupportedVersions: frames written by every format
+// version since minVersion still decode — a v1 snapshot taken before the
+// asynchronous-era fields existed resumes under the current build (the
+// new payload fields are optional, so the old JSON parses with v1
+// semantics). Versions outside [minVersion, Version] are rejected.
+func TestDecodeReadsAllSupportedVersions(t *testing.T) {
+	in := payload{Name: "old-run", Seq: 7, Xs: []float64{0.5}}
+	frame, err := Encode(&in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint32(minVersion); v <= Version; v++ {
+		f := append([]byte(nil), frame...)
+		binary.BigEndian.PutUint32(f[8:], v)
+		var out payload
+		if err := Decode(f, &out); err != nil {
+			t.Errorf("version %d frame rejected: %v", v, err)
+		} else if out.Name != in.Name || out.Seq != in.Seq {
+			t.Errorf("version %d frame decoded to %+v", v, out)
+		}
+	}
+	tooOld := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(tooOld[8:], minVersion-1)
+	var out payload
+	if err := Decode(tooOld, &out); err == nil {
+		t.Error("version below minVersion accepted")
+	}
+}
+
 func TestStoreSaveLoadLatest(t *testing.T) {
 	st := &Store{Dir: filepath.Join(t.TempDir(), "snaps")}
 	if _, err := st.LoadLatest(&payload{}); !errors.Is(err, ErrNoSnapshot) {

@@ -1,0 +1,304 @@
+package strategy
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/parallel"
+	"repro/internal/rng"
+)
+
+// TestPortfolioArmPriming pins the UCB1 schedule's deterministic opening:
+// the first len(arms) proposals play each arm once in roster order, and
+// with all rewards tied the next play breaks the tie to arm 0.
+func TestPortfolioArmPriming(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 12)
+	s := NewPortfolio()
+	for i := range portfolioArms {
+		if _, err := s.Propose(context.Background(), m, st, 1, rng.New(21, uint64(i))); err != nil {
+			t.Fatalf("propose %d: %v", i, err)
+		}
+		for a := range portfolioArms {
+			want := 0
+			if a <= i {
+				want = 1
+			}
+			if s.counts[a] != want {
+				t.Fatalf("after propose %d: counts = %v", i, s.counts)
+			}
+		}
+	}
+	if _, err := s.Propose(context.Background(), m, st, 1, rng.New(21, 99)); err != nil {
+		t.Fatal(err)
+	}
+	if s.counts[0] != 2 {
+		t.Fatalf("all-tied UCB1 should replay arm 0: counts = %v", s.counts)
+	}
+	if s.plays != len(portfolioArms)+1 {
+		t.Fatalf("plays = %d", s.plays)
+	}
+}
+
+// TestPortfolioDeterministic: two fresh portfolios fed identical models,
+// states and streams propose bit-identical batches — the bandit draws no
+// randomness of its own.
+func TestPortfolioDeterministic(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 12)
+	s1, s2 := NewPortfolio(), NewPortfolio()
+	for i := 0; i < 3; i++ {
+		b1, err := s1.Propose(context.Background(), m, st, 2, rng.New(22, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := s2.Propose(context.Background(), m, st, 2, rng.New(22, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(b1, b2) {
+			t.Fatalf("propose %d diverged:\n%v\n%v", i, b1, b2)
+		}
+	}
+}
+
+// TestPortfolioRewardAccounting pins the credit rules: a tracked point
+// that improves the incumbent earns its arm reward 1; non-improving
+// points earn nothing; untracked improvements (nudged or foreign points)
+// move the baseline without crediting any arm.
+func TestPortfolioRewardAccounting(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 12)
+	s := NewPortfolio()
+
+	batch, err := s.Propose(context.Background(), m, st, 1, rng.New(23, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.haveBest || s.bestSeen != st.BestY {
+		t.Fatalf("baseline not anchored to incumbent: %v vs %v", s.bestSeen, st.BestY)
+	}
+	if len(s.pendingKeys) != 1 {
+		t.Fatalf("pending FIFO = %v", s.pendingKeys)
+	}
+
+	improving := st.BestY - 1 // minimization: lower is better
+	s.Observe(st, batch, []float64{improving})
+	if s.rewards[0] != 1 {
+		t.Fatalf("tracked improvement not credited: rewards = %v", s.rewards)
+	}
+	if len(s.pendingKeys) != 0 || len(s.pendingArm) != 0 {
+		t.Fatal("observed point not removed from the pending FIFO")
+	}
+	if s.bestSeen != improving {
+		t.Fatalf("baseline not advanced: %v", s.bestSeen)
+	}
+
+	// Second arm proposes; a worse observation earns nothing.
+	batch2, err := s.Propose(context.Background(), m, st, 1, rng.New(23, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Observe(st, batch2, []float64{improving + 10})
+	if s.rewards[1] != 0 {
+		t.Fatalf("non-improving point credited: rewards = %v", s.rewards)
+	}
+
+	// An untracked improvement advances the baseline, credits nobody.
+	s.Observe(st, [][]float64{{2.5, 2.5}}, []float64{improving - 1})
+	if s.bestSeen != improving-1 {
+		t.Fatalf("untracked improvement ignored: %v", s.bestSeen)
+	}
+	var total float64
+	for _, r := range s.rewards {
+		total += r
+	}
+	if total != 1 {
+		t.Fatalf("reward total = %v, want 1", total)
+	}
+}
+
+// TestPortfolioPendingFIFOBounded: unmatched keys (dedupe-nudged or
+// rolled-back proposals) must not grow the map without bound.
+func TestPortfolioPendingFIFOBounded(t *testing.T) {
+	s := NewPortfolio()
+	for i := 0; i < 3*pendingCap; i++ {
+		s.note([]float64{float64(i), float64(-i)}, i%len(portfolioArms))
+	}
+	if len(s.pendingKeys) != pendingCap || len(s.pendingArm) != pendingCap {
+		t.Fatalf("FIFO grew to %d keys / %d map entries", len(s.pendingKeys), len(s.pendingArm))
+	}
+	// Oldest entries were evicted: the survivors are the newest pendingCap.
+	first := s.pendingKeys[0]
+	if first != pointKey([]float64{float64(2 * pendingCap), float64(-2 * pendingCap)}) {
+		t.Fatalf("unexpected oldest survivor %q", first)
+	}
+}
+
+func TestPortfolioStateRoundTrip(t *testing.T) {
+	p := sphereProblem()
+	m, st := fitState(t, p, 12)
+	s := NewPortfolio()
+	for i := 0; i < 2; i++ {
+		batch, err := s.Propose(context.Background(), m, st, 1, rng.New(24, uint64(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			s.Observe(st, batch, []float64{st.BestY - 1})
+		}
+	}
+
+	data, err := s.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewPortfolio()
+	if err := s2.RestoreStrategyState(data); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s.counts, s2.counts) || !reflect.DeepEqual(s.rewards, s2.rewards) ||
+		s.plays != s2.plays || s.bestSeen != s2.bestSeen || s.haveBest != s2.haveBest {
+		t.Fatalf("restored counters differ:\n%+v\n%+v", s, s2)
+	}
+	if !reflect.DeepEqual(s.pendingKeys, s2.pendingKeys) || !reflect.DeepEqual(s.pendingArm, s2.pendingArm) {
+		t.Fatalf("restored pending FIFO differs:\n%v %v\n%v %v", s.pendingKeys, s.pendingArm, s2.pendingKeys, s2.pendingArm)
+	}
+
+	for _, bad := range []string{
+		`{`,
+		`{"counts":[1],"rewards":[0,0,0,0]}`,
+		`{"counts":[0,0,0,0],"rewards":[0,0,0,0],"plays":-1}`,
+		`{"counts":[0,0,0,-1],"rewards":[0,0,0,0]}`,
+		`{"counts":[0,0,0,0],"rewards":[0,0,-1,0]}`,
+		`{"counts":[0,0,0,0],"rewards":[0,0,0,0],"pending_keys":["a"],"pending_arms":[]}`,
+		`{"counts":[0,0,0,0],"rewards":[0,0,0,0],"pending_keys":["a"],"pending_arms":[7]}`,
+	} {
+		err := NewPortfolio().RestoreStrategyState([]byte(bad))
+		if err == nil {
+			t.Errorf("malformed state %q accepted", bad)
+		} else if !errors.Is(err, ErrStrategyState) {
+			t.Errorf("malformed state %q: err = %v, want ErrStrategyState wrap", bad, err)
+		}
+	}
+}
+
+// asyncPortfolioEngine pairs the portfolio with the asynchronous engine
+// mode it was designed for.
+func asyncPortfolioEngine() *core.Engine {
+	e := goldenEngine(NewPortfolio())
+	e.Mode = core.Asynchronous
+	e.Pool = &parallel.Pool{Overhead: parallel.LinearOverhead(100*time.Millisecond, 50*time.Millisecond)}
+	return e
+}
+
+// drivePortfolioAsync is the deterministic LIFO drive of the asynchronous
+// schedule (fill all free slots, tell the newest pending point) from the
+// strategy layer's vantage, stopping after stopAfter operations (< 0 runs
+// to completion).
+func drivePortfolioAsync(t *testing.T, e *core.Engine, at *core.AskTell, stopAfter int) (*core.Result, bool) {
+	t.Helper()
+	ctx := context.Background()
+	ops := 0
+	boundary := func() bool { ops++; return stopAfter >= 0 && ops == stopAfter }
+	for {
+		filling := true
+		for filling {
+			_, err := at.Ask(ctx)
+			switch {
+			case err == nil:
+				if boundary() {
+					return nil, false
+				}
+			case errors.Is(err, core.ErrNoBatchReady), errors.Is(err, core.ErrDone):
+				filling = false
+			default:
+				t.Fatal(err)
+			}
+		}
+		pend := at.Pending()
+		if len(pend) == 0 {
+			if !at.Done() {
+				t.Fatal("no pending work but run not done")
+			}
+			return at.Result(), true
+		}
+		b := pend[len(pend)-1]
+		br, err := e.Pool.EvalBatch(ctx, e.Problem.Evaluator, b.Points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := at.Tell(b.ID, br.Y, br.Costs); err != nil {
+			t.Fatal(err)
+		}
+		if boundary() {
+			return nil, false
+		}
+	}
+}
+
+// TestPortfolioAsyncKillAndResume: the bandit's counters, reward baseline
+// and pending point→arm FIFO all ride the engine checkpoint, so an
+// asynchronous portfolio run killed mid-flight — with fantasized points
+// outstanding and arms partially primed — and resumed from the JSON
+// round-tripped checkpoint finishes bit-identical to the uninterrupted
+// reference.
+func TestPortfolioAsyncKillAndResume(t *testing.T) {
+	refEngine := asyncPortfolioEngine()
+	refAT, err := core.NewAskTell(refEngine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refAT.SetNow(detNow())
+	ref, done := drivePortfolioAsync(t, refEngine, refAT, -1)
+	if !done {
+		t.Fatal("reference run stopped early")
+	}
+
+	// Boundaries straddle the design/cycle transition: 13 and 14 are the
+	// first two cycle asks (one then two points mid-flight, replacement
+	// proposals conditioned on fantasies), 16 is the final cycle ask with
+	// evolved bandit counters.
+	for _, k := range []int{13, 14, 16} {
+		e1 := asyncPortfolioEngine()
+		at1, err := core.NewAskTell(e1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at1.SetNow(detNow())
+		if _, done := drivePortfolioAsync(t, e1, at1, k); done {
+			t.Fatalf("boundary %d: run completed before checkpoint", k)
+		}
+		cp, err := at1.Checkpoint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cp2 core.Checkpoint
+		if err := json.Unmarshal(data, &cp2); err != nil {
+			t.Fatal(err)
+		}
+
+		e2 := asyncPortfolioEngine()
+		at2, err := core.ResumeAskTell(e2, &cp2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		at2.SetNow(detNow())
+		got, done := drivePortfolioAsync(t, e2, at2, -1)
+		if !done {
+			t.Fatal("resumed run stopped early")
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("portfolio async resume at op %d diverged:\nref %+v\ngot %+v", k, ref, got)
+		}
+	}
+}

@@ -18,8 +18,11 @@ var (
 	_ core.Strategy      = (*BSPEGO)(nil)
 	_ core.Strategy      = (*TuRBO)(nil)
 	_ core.Strategy      = (*LocalPenalization)(nil)
+	_ core.Strategy      = (*Portfolio)(nil)
 	_ core.ModelProvider = (*TSRFF)(nil)
 	_ core.ModelProvider = (*BNNGA)(nil)
+
+	_ core.StrategyCheckpointer = (*Portfolio)(nil)
 )
 
 // ByName constructs a fresh strategy from its paper name.
@@ -41,16 +44,20 @@ func ByName(name string) (core.Strategy, error) {
 		return NewLocalPenalization(), nil
 	case "BNN-GA", "bnn-ga", "bnn":
 		return NewBNNGA(), nil
+	case "Portfolio", "portfolio", "aph":
+		return NewPortfolio(), nil
 	}
 	return nil, fmt.Errorf("strategy: unknown strategy %q", name)
 }
 
 // ExtendedNames lists the additional batch APs implemented beyond the
 // paper's five: Thompson sampling over random-Fourier-feature sample paths,
-// Local Penalization (González et al., surveyed by the paper), and the
+// Local Penalization (González et al., surveyed by the paper), the
 // Bayesian-neural-network-assisted GA of the authors' companion study
-// (Briffoteaux et al. 2020, the paper's reference [8]).
-var ExtendedNames = []string{"TS-RFF", "LP-EGO", "BNN-GA"}
+// (Briffoteaux et al. 2020, the paper's reference [8]), and the UCB1
+// acquisition portfolio in the spirit of aphBO-2GP-3B — the natural partner
+// of the asynchronous engine mode.
+var ExtendedNames = []string{"TS-RFF", "LP-EGO", "BNN-GA", "Portfolio"}
 
 // All returns fresh instances of the five strategies under comparison.
 func All() []core.Strategy {

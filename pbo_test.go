@@ -145,7 +145,7 @@ func TestUPHESSimulatorBreakdown(t *testing.T) {
 
 func TestExtendedStrategiesAccepted(t *testing.T) {
 	names := ExtendedStrategies()
-	if len(names) != 3 {
+	if len(names) != 4 {
 		t.Fatalf("extended strategies = %v", names)
 	}
 	p, err := CustomProblem("s1", func(x []float64) float64 { return x[0] * x[0] },

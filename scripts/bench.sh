@@ -15,6 +15,9 @@
 #              serial at n=1024, pooled small-n), the n=4096 fantasy-chain
 #              extension, and the resident factor footprint at n=4096
 #              (factor-bytes) -> BENCH_fit.json
+#   async    — whole-engine virtual-throughput runs (evals-per-vhour) of
+#              the batch-synchronous vs asynchronous protocols on a
+#              heterogeneous-latency workload -> BENCH_async.json
 #
 # Usage:
 #   ./scripts/bench.sh             # full-accuracy run -> all JSON files
@@ -27,10 +30,13 @@
 #   BENCHTIME_SNAPSHOT snapshot -benchtime value (default 2s; gates use 1x)
 #   BENCHTIME_FIT      fit -benchtime value (default 2s; the gate uses 1x
 #                      because one LML evaluation at n=1024 runs ~0.5 s)
+#   BENCHTIME_ASYNC    async -benchtime value (default 2s; each iteration
+#                      is one full budget-bounded engine run)
 #   OUT                hotpath JSON path (default BENCH_hotpath.json)
 #   OUT_LINALG         linalg JSON path (default BENCH_linalg.json)
 #   OUT_SNAPSHOT       snapshot JSON path (default BENCH_snapshot.json)
 #   OUT_FIT            fit JSON path (default BENCH_fit.json)
+#   OUT_ASYNC          async JSON path (default BENCH_async.json)
 #
 # Checks (enforced with -check):
 #   - alloc budgets: the zero-allocation contract of DESIGN.md §9. A
@@ -39,6 +45,12 @@
 #   - linalg floor: BenchmarkMulInto1024 must not exceed 1.10× the naive
 #     ikj reference (BenchmarkMulIntoNaive1024), so the blocked dispatch
 #     can never regress below the loop it replaced.
+#   - async floor: the asynchronous protocol must complete at least as
+#     many evaluations per virtual hour as the batch-synchronous one on
+#     the heterogeneous-latency workload — the paper's motivating claim;
+#     the virtual clock makes the metric deterministic up to sub-ms
+#     measured overhead, so a violation means the async schedule
+#     regressed, not noise.
 #   - fit floors: the banded parallel fit path must not exceed 1.10× the
 #     forced-serial path at the same n (bit-identity makes the branches
 #     interchangeable, so parallel dispatch may never cost more than it
@@ -53,10 +65,12 @@ BENCHTIME="${BENCHTIME:-2s}"
 BENCHTIME_LINALG="${BENCHTIME_LINALG:-2s}"
 BENCHTIME_SNAPSHOT="${BENCHTIME_SNAPSHOT:-2s}"
 BENCHTIME_FIT="${BENCHTIME_FIT:-2s}"
+BENCHTIME_ASYNC="${BENCHTIME_ASYNC:-2s}"
 OUT="${OUT:-BENCH_hotpath.json}"
 OUT_LINALG="${OUT_LINALG:-BENCH_linalg.json}"
 OUT_SNAPSHOT="${OUT_SNAPSHOT:-BENCH_snapshot.json}"
 OUT_FIT="${OUT_FIT:-BENCH_fit.json}"
+OUT_ASYNC="${OUT_ASYNC:-BENCH_async.json}"
 CHECK=0
 if [ "${1:-}" = "-check" ]; then
     CHECK=1
@@ -66,7 +80,8 @@ raw=$(mktemp)
 rawlin=$(mktemp)
 rawsnap=$(mktemp)
 rawfit=$(mktemp)
-trap 'rm -f "$raw" "$rawlin" "$rawsnap" "$rawfit"' EXIT
+rawasync=$(mktemp)
+trap 'rm -f "$raw" "$rawlin" "$rawsnap" "$rawfit" "$rawasync"' EXIT
 
 # Anchored names: the LargeN linalg benchmarks also contain "Predict" /
 # "Fantasize" and must not leak into the hotpath suite.
@@ -88,19 +103,25 @@ go test -run '^$' -bench 'SnapshotEncode1024$|SnapshotDecode1024$' \
 go test -run '^$' -bench 'FitLML128$|FitLML1024$|FitLML1024Serial$|FitFactorBytes4096$|LargeNFantasize4096$' \
     -benchmem -benchtime "$BENCHTIME_FIT" ./internal/gp/ >"$rawfit"
 
+# The async suite: full budget-bounded engine runs under both protocols
+# on the same heterogeneous-latency workload, reporting evals-per-vhour.
+go test -run '^$' -bench 'VirtualThroughput$' \
+    -benchmem -benchtime "$BENCHTIME_ASYNC" ./internal/core/ >"$rawasync"
+
 tojson() {
     awk '
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
-        ns = ""; bytes = ""; allocs = ""; frame = ""; factor = ""
+        ns = ""; bytes = ""; allocs = ""; frame = ""; factor = ""; vhour = ""
         for (i = 2; i <= NF; i++) {
             if ($(i+1) == "ns/op") ns = $i
             if ($(i+1) == "B/op") bytes = $i
             if ($(i+1) == "allocs/op") allocs = $i
             if ($(i+1) == "frame-bytes") frame = $i
             if ($(i+1) == "factor-bytes") factor = $i
+            if ($(i+1) == "evals-per-vhour") vhour = $i
         }
         if (ns == "") next
         if (!first) print ","
@@ -109,6 +130,7 @@ tojson() {
             name, ns, (bytes == "" ? 0 : bytes), (allocs == "" ? 0 : allocs)
         if (frame != "") printf ", \"frame_bytes\": %s", frame
         if (factor != "") printf ", \"factor_bytes\": %s", factor
+        if (vhour != "") printf ", \"evals_per_vhour\": %s", vhour
         printf "}"
     }
     END { print "\n]" }
@@ -119,8 +141,9 @@ tojson "$raw" >"$OUT"
 tojson "$rawlin" >"$OUT_LINALG"
 tojson "$rawsnap" >"$OUT_SNAPSHOT"
 tojson "$rawfit" >"$OUT_FIT"
+tojson "$rawasync" >"$OUT_ASYNC"
 
-echo "bench.sh: wrote $OUT, $OUT_LINALG, $OUT_SNAPSHOT and $OUT_FIT"
+echo "bench.sh: wrote $OUT, $OUT_LINALG, $OUT_SNAPSHOT, $OUT_FIT and $OUT_ASYNC"
 
 if [ "$CHECK" = "1" ]; then
     # name:max_allocs_per_op pairs pinned by the hot-path contract.
@@ -212,8 +235,25 @@ if [ "$CHECK" = "1" ]; then
         fail=1
     fi
 
+    # Async throughput floor: the asynchronous protocol must complete at
+    # least as many evaluations per virtual hour as the batch-synchronous
+    # schedule it replaces. The virtual clock is simulated, so this is a
+    # property of the schedules, not of the host.
+    getvhour() {
+        awk -v n="$1" '$1 ~ "^"n"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="evals-per-vhour") print $i }' "$rawasync"
+    }
+    syncv=$(getvhour BenchmarkSyncVirtualThroughput)
+    asyncv=$(getvhour BenchmarkAsyncVirtualThroughput)
+    if [ -z "$syncv" ] || [ -z "$asyncv" ]; then
+        echo "bench.sh: FAIL: virtual-throughput benchmarks did not run" >&2
+        fail=1
+    elif awk -v a="$asyncv" -v s="$syncv" 'BEGIN { exit !(a < s) }'; then
+        echo "bench.sh: FAIL: async throughput ($asyncv evals/vhour) fell below sync ($syncv evals/vhour)" >&2
+        fail=1
+    fi
+
     if [ "$fail" = "1" ]; then
         exit 1
     fi
-    echo "bench.sh: alloc budgets, linalg floor, snapshot and fit evidence hold"
+    echo "bench.sh: alloc budgets, linalg floor, snapshot, fit and async-throughput evidence hold"
 fi

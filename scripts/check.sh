@@ -81,9 +81,13 @@ echo "== kill-and-resume determinism under -race"
 # dropped from the gate: checkpoint/resume bit-identity at the ask/tell
 # core, per-strategy resume, the session ledger with partial tells and
 # corrupt-snapshot fallback, the concurrent HTTP e2e, and the real
-# SIGTERM drain-and-resume lifecycle of cmd/pboserver.
+# SIGTERM drain-and-resume lifecycle of cmd/pboserver. The async chain is
+# pinned at every layer — core LIFO replay, the portfolio bandit's
+# checkpointed arm statistics, the session ledger with fantasized points
+# in flight (plus its worker-pool goroutine-leak check), and the HTTP
+# kill-and-resume with metrics bit-identity.
 go test -race \
-    -run 'TestAskTellCheckpointResume|TestStrategyKillAndResume|TestSessionKillAndResume|TestSessionResumeSurvivesCorruptNewestSnapshot|TestServerConcurrentSessions|TestServerKillAndResume|TestServerSIGTERMDrainAndResume' \
+    -run 'TestAskTellCheckpointResume|TestStrategyKillAndResume|TestSessionKillAndResume|TestSessionResumeSurvivesCorruptNewestSnapshot|TestServerConcurrentSessions|TestServerKillAndResume|TestServerSIGTERMDrainAndResume|TestAsyncKillAndResume|TestPortfolioAsyncKillAndResume|TestSessionAsyncKillAndResume|TestSessionAsyncWorkerPoolDrains|TestServerAsyncKillAndResume' \
     -count 1 ./internal/core/ ./internal/strategy/ ./internal/session/ ./internal/serve/ ./cmd/pboserver/
 
 echo "== alloc-regression tests (no race detector)"
@@ -92,14 +96,15 @@ go test -run 'Alloc' ./internal/mat/ ./internal/kernel/ ./internal/gp/
 echo "== benchmarks compile and run once"
 go test -run '^$' -bench . -benchtime 1x ./...
 
-echo "== bench.sh alloc budgets, linalg floor, snapshot and fit evidence"
+echo "== bench.sh alloc budgets, linalg floor, snapshot, fit and async evidence"
 benchjson=$(mktemp)
 benchlinjson=$(mktemp)
 benchsnapjson=$(mktemp)
 benchfitjson=$(mktemp)
-BENCHTIME=100x BENCHTIME_LINALG=1x BENCHTIME_SNAPSHOT=1x BENCHTIME_FIT=1x \
-    OUT="$benchjson" OUT_LINALG="$benchlinjson" OUT_SNAPSHOT="$benchsnapjson" OUT_FIT="$benchfitjson" \
+benchasyncjson=$(mktemp)
+BENCHTIME=100x BENCHTIME_LINALG=1x BENCHTIME_SNAPSHOT=1x BENCHTIME_FIT=1x BENCHTIME_ASYNC=1x \
+    OUT="$benchjson" OUT_LINALG="$benchlinjson" OUT_SNAPSHOT="$benchsnapjson" OUT_FIT="$benchfitjson" OUT_ASYNC="$benchasyncjson" \
     ./scripts/bench.sh -check
-rm -f "$benchjson" "$benchlinjson" "$benchsnapjson" "$benchfitjson"
+rm -f "$benchjson" "$benchlinjson" "$benchsnapjson" "$benchfitjson" "$benchasyncjson"
 
 echo "check.sh: all gates passed"
