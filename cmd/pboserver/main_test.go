@@ -236,6 +236,162 @@ func TestServerSIGTERMDrainAndResume(t *testing.T) {
 	}
 }
 
+// TestServerMigrateTwoProcesses moves a live session between two real
+// servers — separate run() processes, separate snapshot roots — through
+// the export/import protocol: drive partway on the source (leaving a
+// half-told batch in flight), Migrate across loopback HTTP, recover the
+// pending work on the target and finish there. The final result must
+// match the uninterrupted closed-loop run, and the source must both
+// forget the session and keep its exported frame on disk.
+func TestServerMigrateTwoProcesses(t *testing.T) {
+	spec := serverSpec()
+	spec.ID = "levy-mig"
+	eng, err := spec.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eng.Problem.Evaluator
+
+	snapdirA := filepath.Join(t.TempDir(), "snaps-a")
+	snapdirB := filepath.Join(t.TempDir(), "snaps-b")
+	addrfileA := filepath.Join(t.TempDir(), "addr-a")
+	addrfileB := filepath.Join(t.TempDir(), "addr-b")
+	ctxA, stopA := context.WithCancel(context.Background())
+	ctxB, stopB := context.WithCancel(context.Background())
+	var logA, logB bytes.Buffer
+	var runErrA, runErrB error
+	var got *core.Result
+	if err := parallel.ForEach(context.Background(), 3, 3, func(i int) {
+		switch i {
+		case 0:
+			runErrA = run(ctxA, []string{"-addr", "127.0.0.1:0", "-snapdir", snapdirA, "-addrfile", addrfileA}, &logA)
+		case 1:
+			runErrB = run(ctxB, []string{"-addr", "127.0.0.1:0", "-snapdir", snapdirB, "-addrfile", addrfileB}, &logB)
+		case 2:
+			defer stopA()
+			defer stopB()
+			cA := &serve.Client{BaseURL: "http://" + waitForAddr(t, addrfileA)}
+			cB := &serve.Client{BaseURL: "http://" + waitForAddr(t, addrfileB)}
+			ctx := context.Background()
+			if _, err := cA.Create(ctx, spec); err != nil {
+				t.Errorf("create: %v", err)
+				return
+			}
+			// Design (3 waves) plus cycle 1, then half of cycle 2.
+			for k := 0; k < 4; k++ {
+				b, done, err := cA.Ask(ctx, spec.ID)
+				if err != nil || done {
+					t.Errorf("ask %d: done=%v err=%v", k, done, err)
+					return
+				}
+				for m, x := range b.Points {
+					y, cost := ev.Eval(x)
+					if _, err := cA.Tell(ctx, spec.ID, []session.EvalResult{{
+						BatchID: b.ID, Member: m, Y: y, CostNS: int64(cost),
+					}}); err != nil {
+						t.Errorf("tell: %v", err)
+						return
+					}
+				}
+			}
+			b, done, err := cA.Ask(ctx, spec.ID)
+			if err != nil || done {
+				t.Errorf("ask in-flight batch: done=%v err=%v", done, err)
+				return
+			}
+			y, cost := ev.Eval(b.Points[0])
+			if _, err := cA.Tell(ctx, spec.ID, []session.EvalResult{{
+				BatchID: b.ID, Member: 0, Y: y, CostNS: int64(cost),
+			}}); err != nil {
+				t.Errorf("partial tell: %v", err)
+				return
+			}
+
+			st, err := cA.Migrate(ctx, spec.ID, cB)
+			if err != nil {
+				t.Errorf("migrate: %v", err)
+				return
+			}
+			if len(st.Pending) != 1 || st.Pending[0].Received != 1 {
+				t.Errorf("pending after migrate %+v, want the half-told batch", st.Pending)
+			}
+			// The source forgot the session but kept the exported frame.
+			if _, err := cA.Status(ctx, spec.ID); err == nil || !strings.Contains(err.Error(), "unknown session") {
+				t.Errorf("source still serves the migrated session: %v", err)
+			}
+			if snaps, err := os.ReadDir(filepath.Join(snapdirA, spec.ID)); err != nil || len(snaps) == 0 {
+				t.Errorf("source snapshot dir after export: %d entries, err %v", len(snaps), err)
+			}
+
+			// Recover the in-flight batch on the target, then finish there.
+			pws, err := cB.PendingWork(ctx, spec.ID)
+			if err != nil {
+				t.Errorf("pending work: %v", err)
+				return
+			}
+			for _, pw := range pws {
+				for m, x := range pw.Batch.Points {
+					if pw.Received[m] {
+						continue
+					}
+					y, cost := ev.Eval(x)
+					if _, err := cB.Tell(ctx, spec.ID, []session.EvalResult{{
+						BatchID: pw.Batch.ID, Member: m, Y: y, CostNS: int64(cost),
+					}}); err != nil {
+						t.Errorf("recovery tell: %v", err)
+						return
+					}
+				}
+			}
+			for {
+				b, done, err := cB.Ask(ctx, spec.ID)
+				if err != nil {
+					t.Errorf("ask: %v", err)
+					return
+				}
+				if done {
+					break
+				}
+				for m, x := range b.Points {
+					y, cost := ev.Eval(x)
+					if _, err := cB.Tell(ctx, spec.ID, []session.EvalResult{{
+						BatchID: b.ID, Member: m, Y: y, CostNS: int64(cost),
+					}}); err != nil {
+						t.Errorf("tell: %v", err)
+						return
+					}
+				}
+			}
+			got, err = cB.Result(ctx, spec.ID)
+			if err != nil {
+				t.Errorf("result: %v", err)
+			}
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runErrA != nil || runErrB != nil {
+		t.Fatalf("server exit: source %v, target %v", runErrA, runErrB)
+	}
+	if got == nil {
+		t.Fatal("no final result")
+	}
+	if !reflect.DeepEqual(ref.X, got.X) || !reflect.DeepEqual(ref.Y, got.Y) {
+		t.Error("trace diverged across the migration")
+	}
+	//lint:ignore floatcmp the incumbent must survive migration exactly
+	if got.BestY != ref.BestY || !reflect.DeepEqual(ref.BestX, got.BestX) {
+		t.Errorf("incumbent %v/%v, want %v/%v", got.BestX, got.BestY, ref.BestX, ref.BestY)
+	}
+	if got.Cycles != ref.Cycles || got.Evals != ref.Evals {
+		t.Errorf("counters (%d,%d), want (%d,%d)", got.Cycles, got.Evals, ref.Cycles, ref.Evals)
+	}
+}
+
 // TestRunRejectsBadFlags pins the error path: run must fail fast, not
 // serve, on unparsable flags.
 func TestRunRejectsBadFlags(t *testing.T) {

@@ -135,11 +135,35 @@ func (c *Client) Ask(ctx context.Context, id string) (b *core.Batch, done bool, 
 	return ar.Batch, ar.Done, nil
 }
 
+// askWaitMargin pads the client-side deadline of a long poll past the
+// requested wait: the server must get the chance to answer an expired
+// wait itself (409, like a plain not-ready ask) before the client's
+// transport gives up on it.
+const askWaitMargin = 2 * time.Second
+
 // AskWait long-polls for the next batch: the server holds the request up
 // to wait until a slot frees (asynchronous sessions free one on every
 // tell) instead of making the caller spin on ErrNotReady. Semantics
 // otherwise match Ask; the server caps wait below its request timeout.
+// A negative wait degrades to a plain ask (wait 0) instead of bouncing
+// off the server's validation. A wait that would outlive an injected
+// HTTPClient.Timeout is clamped to fit under it, so the server answers
+// the expired poll with a clean 409 (ErrNotReady) instead of the
+// transport killing it mid-wait with an opaque error; the request also
+// carries its own context deadline of wait plus a fixed margin, bounding
+// the poll even under the default transport.
 func (c *Client) AskWait(ctx context.Context, id string, wait time.Duration) (b *core.Batch, done bool, err error) {
+	if wait < 0 {
+		wait = 0
+	}
+	if t := c.httpClient().Timeout; t > 0 && wait+askWaitMargin > t {
+		wait = t - askWaitMargin
+		if wait < 0 {
+			wait = 0
+		}
+	}
+	ctx, cancel := context.WithTimeout(ctx, wait+askWaitMargin)
+	defer cancel()
 	path := "/v1/sessions/" + id + "/ask?wait=" + url.QueryEscape(wait.String())
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
 	if err != nil {
@@ -241,4 +265,38 @@ func (c *Client) ServerMetrics(ctx context.Context) (ServerMetrics, error) {
 // registry; persisted sessions can be resumed later.
 func (c *Client) Evict(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/sessions/"+id, nil, nil)
+}
+
+// Export serializes a session for migration and unloads it from the
+// server's live registry. The bundle installs on another server via
+// Import; until then the source's snapshot directory still holds the
+// exported state, so the session is never in fewer than one place.
+func (c *Client) Export(ctx context.Context, id string) (ExportBundle, error) {
+	var bundle ExportBundle
+	err := c.do(ctx, http.MethodGet, "/v1/sessions/"+id+"/export", nil, &bundle)
+	return bundle, err
+}
+
+// Import installs an exported session on the target server and returns
+// its status there.
+func (c *Client) Import(ctx context.Context, bundle ExportBundle) (session.Status, error) {
+	var st session.Status
+	err := c.do(ctx, http.MethodPost, "/v1/sessions/import", &bundle, &st)
+	return st, err
+}
+
+// Migrate moves a session from this client's server to dst: export here
+// (which unloads it from the source), import there. On an import failure
+// the bundle is lost from neither side — the source's snapshot directory
+// keeps the exported frame, so the session can be resumed at the source.
+func (c *Client) Migrate(ctx context.Context, id string, dst *Client) (session.Status, error) {
+	bundle, err := c.Export(ctx, id)
+	if err != nil {
+		return session.Status{}, err
+	}
+	st, err := dst.Import(ctx, bundle)
+	if err != nil {
+		return session.Status{}, fmt.Errorf("serve client: migrate %s: %w", id, err)
+	}
+	return st, nil
 }

@@ -242,6 +242,44 @@ func TestServerAskWaitLongPoll(t *testing.T) {
 	}
 }
 
+// TestClientAskWaitClamps pins the client-side long-poll hygiene: a
+// negative wait degrades to a plain ask (the server would 400 a raw
+// "wait=-5s"), and a wait longer than an injected HTTPClient.Timeout is
+// clamped so the expired poll comes back as a clean ErrNotReady from
+// the server rather than a transport error killing it mid-wait.
+func TestClientAskWaitClamps(t *testing.T) {
+	spec := asyncSpec("clamp")
+	srv := &Server{}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+	if _, err := c.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Fill both in-flight slots so every ask is a genuine wait.
+	if _, _, err := c.Ask(ctx, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.Ask(ctx, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := c.AskWait(ctx, spec.ID, -5*time.Second); !errors.Is(err, ErrNotReady) {
+		t.Fatalf("negative wait: %v, want ErrNotReady", err)
+	}
+
+	short := &Client{BaseURL: ts.URL, HTTPClient: &http.Client{Timeout: askWaitMargin + 300*time.Millisecond}}
+	start := time.Now()
+	_, _, err := short.AskWait(ctx, spec.ID, time.Minute)
+	if !errors.Is(err, ErrNotReady) {
+		t.Fatalf("clamped wait: %v, want ErrNotReady", err)
+	}
+	if elapsed := time.Since(start); elapsed >= time.Minute/2 {
+		t.Fatalf("clamped wait still polled %v", elapsed)
+	}
+}
+
 // TestServerMetricsEndpoints pins the per-session counters and the
 // whole-server rollup over the wire.
 func TestServerMetricsEndpoints(t *testing.T) {

@@ -1,0 +1,200 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/session"
+)
+
+// TestServerMigrateBitIdentity is the kill-migrate-resume e2e: an
+// asynchronous session driven over the wire is killed mid-run, resumed
+// on a second server over the same snapshot root, migrated from there to
+// a third server with its own snapshot root (export drains and unloads
+// at the source; import installs from the frame alone), and driven to
+// completion. The final Result AND usage Metrics must be bit-identical
+// to an uninterrupted run under the same injected clock — the counters
+// cross the process boundary verbatim, so migration is invisible in the
+// metrics.
+func TestServerMigrateBitIdentity(t *testing.T) {
+	spec := asyncSpec("mig-run")
+	ctx := context.Background()
+	eng, err := spec.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eng.Problem.Evaluator
+
+	// Uninterrupted reference, HTTP-driven with its own clock and root.
+	refSrv := &Server{SnapRoot: filepath.Join(t.TempDir(), "ref"), Now: fakeNow()}
+	refTS := httptest.NewServer(refSrv.Handler())
+	defer refTS.Close()
+	refC := &Client{BaseURL: refTS.URL}
+	if _, err := refC.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	ref := driveAsyncHTTP(ctx, t, refC, spec.ID, ev, -1)
+	refMetrics, err := refC.Metrics(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stopAfter := range []int{5, 9, 14} {
+		srcRoot := filepath.Join(t.TempDir(), "src")
+		srv1 := &Server{SnapRoot: srcRoot, Now: fakeNow()}
+		ts1 := httptest.NewServer(srv1.Handler())
+		c1 := &Client{BaseURL: ts1.URL}
+		if _, err := c1.Create(ctx, spec); err != nil {
+			t.Fatal(err)
+		}
+		if res := driveAsyncHTTP(ctx, t, c1, spec.ID, ev, stopAfter); res != nil {
+			t.Fatalf("stop %d: run finished before the crash point", stopAfter)
+		}
+		ts1.Close() // the crash
+
+		// Second process over the same root: resume, then hand the live
+		// session off to a third process across the wire.
+		srv1b := &Server{SnapRoot: srcRoot, Now: fakeNow()}
+		ts1b := httptest.NewServer(srv1b.Handler())
+		c1b := &Client{BaseURL: ts1b.URL}
+		if _, err := c1b.Resume(ctx, spec.ID); err != nil {
+			t.Fatalf("stop %d: resume: %v", stopAfter, err)
+		}
+
+		srv2 := &Server{SnapRoot: filepath.Join(t.TempDir(), "dst"), Now: fakeNow()}
+		ts2 := httptest.NewServer(srv2.Handler())
+		c2 := &Client{BaseURL: ts2.URL}
+		if _, err := c1b.Migrate(ctx, spec.ID, c2); err != nil {
+			t.Fatalf("stop %d: migrate: %v", stopAfter, err)
+		}
+		// The source no longer serves the session...
+		if _, err := c1b.Status(ctx, spec.ID); !errorContains(err, "unknown session") {
+			t.Fatalf("stop %d: source still serves the migrated session: %v", stopAfter, err)
+		}
+		// ...but its snapshot directory kept the handed-off frame.
+		if snaps, err := srv1b.store(spec.ID).List(); err != nil || len(snaps) == 0 {
+			t.Fatalf("stop %d: source store after export: %v files, err %v", stopAfter, len(snaps), err)
+		}
+		ts1b.Close()
+
+		got := driveAsyncHTTP(ctx, t, c2, spec.ID, ev, -1)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("stop %d: migrated result diverged from uninterrupted run", stopAfter)
+		}
+		gotMetrics, err := c2.Metrics(ctx, spec.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotMetrics, refMetrics) {
+			t.Errorf("stop %d: migrated metrics %+v, want %+v", stopAfter, gotMetrics, refMetrics)
+		}
+		ts2.Close()
+	}
+}
+
+// TestServerExportImportLifecycle pins the migration endpoints' edge
+// contract: the exported state carries the partial-tell ledger intact,
+// the source forgets the session, and imports are refused for IDs
+// already live on the target, garbage frames and unknown source IDs.
+func TestServerExportImportLifecycle(t *testing.T) {
+	ctx := context.Background()
+	// Synchronous spec: batches carry two members, so telling one leaves
+	// a genuinely half-told batch in the exported ledger.
+	spec := testSpecs()[3]
+	spec.ID = "exp-run"
+	eng, err := spec.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	src := &Server{SnapRoot: filepath.Join(t.TempDir(), "src"), Now: fakeNow()}
+	srcTS := httptest.NewServer(src.Handler())
+	defer srcTS.Close()
+	sc := &Client{BaseURL: srcTS.URL}
+
+	if _, err := sc.Export(ctx, "ghost"); !errorContains(err, "unknown session") {
+		t.Fatalf("export of unknown session: %v", err)
+	}
+
+	if _, err := sc.Create(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Ask two design batches, then tell one member of the first so the
+	// exported ledger carries a half-told batch next to an untouched one.
+	b1, _, err := sc.Ask(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sc.Ask(ctx, spec.ID); err != nil {
+		t.Fatal(err)
+	}
+	y, cost := eng.Problem.Evaluator.Eval(b1.Points[0])
+	if _, err := sc.Tell(ctx, spec.ID, []session.EvalResult{{
+		BatchID: b1.ID, Member: 0, Y: y, CostNS: int64(cost),
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	wantPending, err := sc.PendingWork(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMetrics, err := sc.Metrics(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bundle, err := sc.Export(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bundle.Spec.ID != spec.ID || len(bundle.Frame) == 0 {
+		t.Fatalf("bundle spec %q, frame %d bytes", bundle.Spec.ID, len(bundle.Frame))
+	}
+	if _, err := sc.Status(ctx, spec.ID); !errorContains(err, "unknown session") {
+		t.Fatalf("source still serves the exported session: %v", err)
+	}
+
+	dst := &Server{SnapRoot: filepath.Join(t.TempDir(), "dst"), Now: fakeNow()}
+	dstTS := httptest.NewServer(dst.Handler())
+	defer dstTS.Close()
+	dc := &Client{BaseURL: dstTS.URL}
+	st, err := dc.Import(ctx, bundle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != spec.ID || len(st.Pending) != 2 {
+		t.Fatalf("imported status %+v", st)
+	}
+	gotPending, err := dc.PendingWork(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotPending, wantPending) {
+		t.Fatalf("imported pending ledger diverged:\n got %+v\nwant %+v", gotPending, wantPending)
+	}
+	gotMetrics, err := dc.Metrics(ctx, spec.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(gotMetrics, wantMetrics) {
+		t.Fatalf("imported metrics %+v, want %+v", gotMetrics, wantMetrics)
+	}
+
+	// A second import of the same bundle: the ID is already live → 409.
+	if _, err := dc.Import(ctx, bundle); !errorContains(err, "already exists") {
+		t.Fatalf("duplicate import: %v", err)
+	}
+	// A garbage frame is rejected before anything registers.
+	garbage := bundle
+	garbage.Spec.ID = "exp-garbage"
+	garbage.Frame = []byte("not a snapshot frame")
+	if _, err := dc.Import(ctx, garbage); err == nil {
+		t.Fatal("garbage frame imported")
+	}
+	if _, err := dc.Status(ctx, "exp-garbage"); !errorContains(err, "unknown session") {
+		t.Fatalf("failed import left a registered session: %v", err)
+	}
+}

@@ -296,6 +296,107 @@ func (s *Server) Evict(id string) error {
 	return nil
 }
 
+// ExportBundle is the migration wire format: everything another server
+// needs to take over a session — its spec (to rebuild the engine) and
+// its Export snapshot frame (base64 under encoding/json), which carries
+// the engine checkpoint, the partial-tell ledger and the usage counters
+// verbatim.
+type ExportBundle struct {
+	Spec  SessionSpec `json:"spec"`
+	Frame []byte      `json:"frame"`
+}
+
+// Export serializes a session for migration and unloads it from the live
+// registry, mirroring the eviction path: the registry entry is removed
+// under the lock first, so no new request can reach the session while
+// its final frame is taken. The returned bundle installs on another
+// server via Import; the source's snapshot directory keeps the
+// handed-off frame as its newest snapshot, so the session could also be
+// resumed here again if the import never happens.
+func (s *Server) Export(id string) (*ExportBundle, error) {
+	s.mu.Lock()
+	e, ok := s.sessions[id]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: session %q: %w", id, ErrUnknownSession)
+	}
+	delete(s.sessions, id)
+	for i, d := range s.doneOrder {
+		if d == id {
+			s.doneOrder = append(s.doneOrder[:i], s.doneOrder[i+1:]...)
+			break
+		}
+	}
+	s.mu.Unlock()
+	frame, err := e.sess.Export()
+	if err != nil {
+		// The session is still healthy in memory — put it back rather
+		// than dropping a live run over a serialization failure.
+		s.mu.Lock()
+		if s.sessions == nil {
+			s.sessions = map[string]*entry{}
+		}
+		s.sessions[id] = e
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serve: export %s: %w", id, err)
+	}
+	return &ExportBundle{Spec: e.spec, Frame: frame}, nil
+}
+
+// Import installs an exported session on this server: the spec is
+// validated and persisted exactly as Create would, then the session is
+// restored from the bundle's frame — counters, pending ledger and
+// partial tells intact — and registered live. Refuses IDs that are
+// already live or already persisted here, like Create.
+func (s *Server) Import(bundle ExportBundle) (*session.Session, error) {
+	spec := bundle.Spec
+	eng, err := spec.Engine()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[spec.ID]; ok {
+		return nil, fmt.Errorf("serve: session %q: %w", spec.ID, ErrExists)
+	}
+	store := s.store(spec.ID)
+	if store != nil {
+		specPath := filepath.Join(store.Dir, specFile)
+		if _, err := os.Stat(specPath); err == nil {
+			return nil, fmt.Errorf("serve: session %q persisted in %s, resume it instead: %w", spec.ID, store.Dir, ErrExists)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if err := os.MkdirAll(store.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		raw, err := json.MarshalIndent(&spec, "", "  ")
+		if err != nil {
+			return nil, fmt.Errorf("serve: %w", err)
+		}
+		if err := snapshot.WriteFileDurable(specPath, raw); err != nil {
+			return nil, fmt.Errorf("serve: write spec: %w", err)
+		}
+	}
+	sess, err := session.Restore(session.Config{ID: spec.ID, Engine: eng, Store: store, Now: s.Now}, bundle.Frame)
+	if err != nil {
+		if store != nil {
+			// Unwind the spec so ResumeAll does not trip forever over a
+			// session that never came to life here.
+			//lint:ignore errcheck best-effort unwind, resume skips spec-less directories
+			_ = os.Remove(filepath.Join(store.Dir, specFile))
+			//lint:ignore errcheck best-effort unwind
+			_ = os.Remove(store.Dir)
+		}
+		return nil, fmt.Errorf("serve: import %s: %w", spec.ID, err)
+	}
+	if s.sessions == nil {
+		s.sessions = map[string]*entry{}
+	}
+	s.sessions[spec.ID] = &entry{spec: spec, sess: sess}
+	return sess, nil
+}
+
 // Handler returns the API's http.Handler with the request timeout
 // applied. Routes:
 //
@@ -312,6 +413,8 @@ func (s *Server) Evict(id string) error {
 //	GET    /v1/sessions/{id}/metrics     session usage counters
 //	GET    /v1/sessions/{id}/snapshots   snapshot file names, oldest first
 //	POST   /v1/sessions/{id}/resume      resume a persisted session
+//	GET    /v1/sessions/{id}/export      serialize + unload for migration
+//	POST   /v1/sessions/import           install an exported session
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sessions", s.handleCreate)
@@ -327,6 +430,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/metrics", s.handleSessionMetrics)
 	mux.HandleFunc("GET /v1/sessions/{id}/snapshots", s.handleSnapshots)
 	mux.HandleFunc("POST /v1/sessions/{id}/resume", s.handleResume)
+	mux.HandleFunc("GET /v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /v1/sessions/import", s.handleImport)
 	return http.TimeoutHandler(mux, s.timeout(), `{"error":"request timed out"}`)
 }
 
@@ -528,6 +633,37 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, sess.Status())
+}
+
+func (s *Server) handleExport(w http.ResponseWriter, r *http.Request) {
+	bundle, err := s.Export(r.PathValue("id"))
+	if err != nil {
+		code := http.StatusInternalServerError
+		if errors.Is(err, ErrUnknownSession) {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, bundle)
+}
+
+func (s *Server) handleImport(w http.ResponseWriter, r *http.Request) {
+	var bundle ExportBundle
+	if err := json.NewDecoder(r.Body).Decode(&bundle); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad bundle: %w", err))
+		return
+	}
+	sess, err := s.Import(bundle)
+	if err != nil {
+		code := http.StatusBadRequest
+		if errors.Is(err, ErrExists) {
+			code = http.StatusConflict
+		}
+		writeError(w, code, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, sess.Status())
 }
 
 // ErrExists reports a create under an ID that is already live; handlers

@@ -1,0 +1,230 @@
+package session
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"flag"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/session/snapshot"
+)
+
+// updateGolden regenerates the checked-in cross-version snapshot frames:
+//
+//	go test ./internal/session -run TestGolden -update
+//
+// Regenerate only when the golden state itself must change (a new
+// format version, a deliberate payload schema change) — the whole point
+// of the files is that already-written frames keep decoding.
+var updateGolden = flag.Bool("update", false, "regenerate testdata golden snapshot frames")
+
+const goldenID = "golden"
+
+func goldenPath(version int) string {
+	return filepath.Join("testdata", "v"+string(rune('0'+version))+".pbosnap")
+}
+
+// frameWithHeader wraps a raw payload in a snapshot frame header at the
+// given format version — the layout shared by every version so far
+// (magic, version, payload length, payload CRC32, all big-endian). The
+// golden tests use it to author v1/v2 frames the way retired builds
+// did, and to re-seal deliberately damaged v3 payloads so corruption
+// reaches the section parser instead of tripping the checksum.
+func frameWithHeader(version uint32, body []byte) []byte {
+	frame := make([]byte, 24+len(body))
+	copy(frame, "PBOSNAP\x00")
+	binary.BigEndian.PutUint32(frame[8:], version)
+	binary.BigEndian.PutUint64(frame[12:], uint64(len(body)))
+	binary.BigEndian.PutUint32(frame[20:], crc32.ChecksumIEEE(body))
+	copy(frame[24:], body)
+	return frame
+}
+
+// goldenPayload drives a deterministic session to the canonical golden
+// state — design done, one full cycle told, the cycle-2 batch asked and
+// half told, so the payload carries live counters, a pending ledger and
+// a partial tell — and returns its snapshot payload.
+func goldenPayload(t *testing.T) *payload {
+	t.Helper()
+	e := testEngine(t, "KB-q-EGO")
+	store := &snapshot.Store{Dir: filepath.Join(t.TempDir(), "snaps")}
+	s, err := New(Config{ID: goldenID, Engine: e, Store: store, Now: detNow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for tells := 0; tells < 4; tells++ {
+		b, err := s.Ask(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := evalMembers(e, b)
+		for i := len(results) - 1; i >= 0; i-- {
+			if err := s.Tell(ctx, []EvalResult{results[i]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	b, err := s.Ask(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Tell(ctx, evalMembers(e, b)[:1]); err != nil {
+		t.Fatal(err)
+	}
+	s.mu.Lock()
+	p, err := s.payloadLocked()
+	s.mu.Unlock()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// writeGoldenFrames regenerates testdata: the same session state framed
+// as each format version writes it. v1 predates the usage counters, so
+// its JSON drops them (omitempty) — it must resume with zeroed metrics.
+func writeGoldenFrames(t *testing.T) {
+	t.Helper()
+	p := goldenPayload(t)
+
+	v3, err := snapshot.Encode(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body2, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := *p
+	p1.Asks, p1.Tells, p1.Snapshots, p1.SnapshotBytes = 0, 0, 0, 0
+	body1, err := json.Marshal(&p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := os.MkdirAll("testdata", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for version, frame := range map[int][]byte{
+		1: frameWithHeader(1, body1),
+		2: frameWithHeader(2, body2),
+		3: v3,
+	} {
+		if err := os.WriteFile(goldenPath(version), frame, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// resumeGoldenFrame installs a frame as the sole snapshot of a fresh
+// store, resumes it and drives the run to completion.
+func resumeGoldenFrame(t *testing.T, frame []byte) *core.Result {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000001.pbosnap"), frame, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e := testEngine(t, "KB-q-EGO")
+	s, err := Resume(Config{ID: goldenID, Engine: e, Store: &snapshot.Store{Dir: dir}, Now: detNow()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainPending(t, e, s)
+	return driveToDone(t, e, s)
+}
+
+// TestGoldenFramesCrossVersionDecode is the cross-version decode matrix:
+// the checked-in v1, v2 and v3 frames — written byte-for-byte the way
+// each format version wrote them — all decode, carry equivalent session
+// state, and resume to identical Results. v2 and v3 must decode to the
+// very same payload (the format change is layout, not content); v1
+// matches once its absent counters are accounted for.
+func TestGoldenFramesCrossVersionDecode(t *testing.T) {
+	if *updateGolden {
+		writeGoldenFrames(t)
+	}
+	frames := map[int][]byte{}
+	for v := 1; v <= 3; v++ {
+		data, err := os.ReadFile(goldenPath(v))
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		frames[v] = data
+	}
+
+	payloads := map[int]*payload{}
+	for v, frame := range frames {
+		p := new(payload)
+		if err := snapshot.Decode(frame, p); err != nil {
+			t.Fatalf("v%d frame: %v", v, err)
+		}
+		payloads[v] = p
+	}
+	if !reflect.DeepEqual(payloads[2], payloads[3]) {
+		t.Fatal("v2 and v3 frames decoded to different payloads")
+	}
+	withCounters := *payloads[1]
+	withCounters.Asks = payloads[3].Asks
+	withCounters.Tells = payloads[3].Tells
+	withCounters.Snapshots = payloads[3].Snapshots
+	withCounters.SnapshotBytes = payloads[3].SnapshotBytes
+	if !reflect.DeepEqual(&withCounters, payloads[3]) {
+		t.Fatal("v1 frame state diverges from v3 beyond the absent counters")
+	}
+
+	results := map[int]*core.Result{}
+	for v, frame := range frames {
+		results[v] = resumeGoldenFrame(t, frame)
+	}
+	for v := 1; v <= 2; v++ {
+		if !reflect.DeepEqual(results[v], results[3]) {
+			t.Fatalf("run resumed from the v%d frame diverged from v3", v)
+		}
+	}
+}
+
+// TestResumeFailsLoudOnFutureVersion: a v4 frame as the newest snapshot
+// must abort the resume with ErrVersion — not fall back to the older v3
+// frame underneath it, which would rewind the session.
+func TestResumeFailsLoudOnFutureVersion(t *testing.T) {
+	v3, err := os.ReadFile(goldenPath(3))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000001.pbosnap"), v3, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	future := frameWithHeader(4, []byte(`{"id":"golden"}`))
+	if err := os.WriteFile(filepath.Join(dir, "snap-00000002.pbosnap"), future, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = Resume(Config{ID: goldenID, Engine: testEngine(t, "KB-q-EGO"), Store: &snapshot.Store{Dir: dir}, Now: detNow()})
+	if !errors.Is(err, snapshot.ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+// TestGoldenTruncatedBinarySectionIsCorrupt: chopping data out of a v3
+// frame's binary sections and re-sealing the header (valid CRC over the
+// damaged payload) must still surface ErrCorrupt from the section
+// parser.
+func TestGoldenTruncatedBinarySectionIsCorrupt(t *testing.T) {
+	v3, err := os.ReadFile(goldenPath(3))
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	damaged := frameWithHeader(3, v3[24:len(v3)-16])
+	var p payload
+	if err := snapshot.Decode(damaged, &p); !errors.Is(err, snapshot.ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}

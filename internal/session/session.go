@@ -10,8 +10,10 @@ package session
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"os"
 	"sync"
 	"time"
@@ -132,6 +134,102 @@ type partialSnapshot struct {
 	Got     []bool    `json:"got"`
 }
 
+// payloadShell is the JSON side of the snapshot v3 split encoding of
+// payload: the checkpoint's own shell rides embedded as raw JSON, the
+// bulk float data — the checkpoint's sections, then per-partial member
+// values and costs — rides the binary sections. The plain JSON tags on
+// payload itself stay load-bearing for decoding v1/v2 frames.
+type payloadShell struct {
+	ID string `json:"id"`
+	// Checkpoint is the engine checkpoint's JSON shell; its binary
+	// sections are the first CheckpointSections sections of the frame.
+	Checkpoint         json.RawMessage `json:"checkpoint"`
+	CheckpointSections int             `json:"checkpoint_sections"`
+	// Partials lists the partial-tell ledger minus the member values and
+	// costs, which ride two sections per entry (Ys, then CostsNS
+	// bit-packed) after the checkpoint's.
+	Partials      []partialShell `json:"partials,omitempty"`
+	Asks          int64          `json:"asks,omitempty"`
+	Tells         int64          `json:"tells,omitempty"`
+	Snapshots     int64          `json:"snapshots,omitempty"`
+	SnapshotBytes int64          `json:"snapshot_bytes,omitempty"`
+}
+
+type partialShell struct {
+	BatchID int    `json:"batch_id"`
+	Got     []bool `json:"got"`
+}
+
+// MarshalSections implements the snapshot v3 split encoding
+// (snapshot.SectionCodec, structurally): the checkpoint's sections
+// first, then one Ys and one bit-packed CostsNS section per partial
+// ledger entry. Cost nanoseconds cross as raw uint64 bit patterns in
+// the float64 sections — lossless for the full int64 range, where a
+// numeric conversion would round past 2^53.
+func (p *payload) MarshalSections() ([]byte, [][]float64, error) {
+	if p.Checkpoint == nil {
+		return nil, nil, errors.New("session: payload has no checkpoint")
+	}
+	cpShell, sections, err := p.Checkpoint.MarshalSections()
+	if err != nil {
+		return nil, nil, err
+	}
+	sh := payloadShell{
+		ID: p.ID, Checkpoint: cpShell, CheckpointSections: len(sections),
+		Asks: p.Asks, Tells: p.Tells,
+		Snapshots: p.Snapshots, SnapshotBytes: p.SnapshotBytes,
+	}
+	for _, ps := range p.Partials {
+		sh.Partials = append(sh.Partials, partialShell{BatchID: ps.BatchID, Got: ps.Got})
+		costs := make([]float64, len(ps.CostsNS))
+		for i, c := range ps.CostsNS {
+			costs[i] = math.Float64frombits(uint64(c))
+		}
+		sections = append(sections, ps.Ys, costs)
+	}
+	data, err := json.Marshal(&sh)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, sections, nil
+}
+
+// UnmarshalSections implements the snapshot v3 split decoding
+// (snapshot.SectionCodec, structurally).
+func (p *payload) UnmarshalSections(shell []byte, sections [][]float64) error {
+	var sh payloadShell
+	if err := json.Unmarshal(shell, &sh); err != nil {
+		return fmt.Errorf("session: payload shell: %w", err)
+	}
+	if sh.CheckpointSections < 0 || sh.CheckpointSections > len(sections) ||
+		len(sections) != sh.CheckpointSections+2*len(sh.Partials) {
+		return fmt.Errorf("session: payload frame has %d sections, shell describes %d+2×%d", len(sections), sh.CheckpointSections, len(sh.Partials))
+	}
+	cp := new(core.Checkpoint)
+	if err := cp.UnmarshalSections(sh.Checkpoint, sections[:sh.CheckpointSections]); err != nil {
+		return err
+	}
+	var partials []partialSnapshot
+	for i, ps := range sh.Partials {
+		ys := sections[sh.CheckpointSections+2*i]
+		costsF := sections[sh.CheckpointSections+2*i+1]
+		if len(ys) != len(ps.Got) || len(costsF) != len(ps.Got) {
+			return fmt.Errorf("session: partial ledger for batch %d malformed", ps.BatchID)
+		}
+		costs := make([]int64, len(costsF))
+		for j, f := range costsF {
+			costs[j] = int64(math.Float64bits(f))
+		}
+		partials = append(partials, partialSnapshot{BatchID: ps.BatchID, Ys: ys, CostsNS: costs, Got: ps.Got})
+	}
+	*p = payload{
+		ID: sh.ID, Checkpoint: cp, Partials: partials,
+		Asks: sh.Asks, Tells: sh.Tells,
+		Snapshots: sh.Snapshots, SnapshotBytes: sh.SnapshotBytes,
+	}
+	return nil
+}
+
 // New opens a fresh session. If a Store is configured, the initial state
 // is snapshotted immediately so a crash before the first ask still leaves
 // a resumable run.
@@ -164,17 +262,9 @@ func Resume(cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	if p.ID != cfg.ID {
-		return nil, fmt.Errorf("session: snapshot %s belongs to session %q, not %q", path, p.ID, cfg.ID)
-	}
-	at, err := core.ResumeAskTell(cfg.Engine, p.Checkpoint)
+	s, err := fromPayload(cfg, &p, path)
 	if err != nil {
-		return nil, fmt.Errorf("session: %s: %w", path, err)
-	}
-	at.SetNow(cfg.Now)
-	s := &Session{
-		id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}, changed: make(chan struct{}),
-		asks: p.Asks, tells: p.Tells, snapshots: p.Snapshots, snapshotBytes: p.SnapshotBytes,
+		return nil, err
 	}
 	// The payload records the counters as of the moment before its own
 	// frame was written; the frame we just loaded is itself one snapshot
@@ -186,7 +276,28 @@ func Resume(cfg Config) (*Session, error) {
 	}
 	s.snapshots++
 	s.snapshotBytes += fi.Size()
+	return s, nil
+}
 
+// fromPayload rebuilds a live session from a decoded snapshot payload:
+// engine resume, partial-tell ledger, usage counters taken verbatim.
+// Counter reconciliation for the source frame itself — Resume's "count
+// the frame we just loaded" — stays with the callers, because Resume
+// and Restore account for it differently. where names the payload's
+// origin in errors.
+func fromPayload(cfg Config, p *payload, where string) (*Session, error) {
+	if p.ID != cfg.ID {
+		return nil, fmt.Errorf("session: %s belongs to session %q, not %q", where, p.ID, cfg.ID)
+	}
+	at, err := core.ResumeAskTell(cfg.Engine, p.Checkpoint)
+	if err != nil {
+		return nil, fmt.Errorf("session: %s: %w", where, err)
+	}
+	at.SetNow(cfg.Now)
+	s := &Session{
+		id: cfg.ID, at: at, store: cfg.Store, partials: map[int]*partial{}, changed: make(chan struct{}),
+		asks: p.Asks, tells: p.Tells, snapshots: p.Snapshots, snapshotBytes: p.SnapshotBytes,
+	}
 	pending := at.Pending()
 	byID := map[int]core.Batch{}
 	for _, b := range pending {
@@ -195,11 +306,11 @@ func Resume(cfg Config) (*Session, error) {
 	for _, ps := range p.Partials {
 		b, ok := byID[ps.BatchID]
 		if !ok {
-			return nil, fmt.Errorf("session: %s: partial results for unknown batch %d", path, ps.BatchID)
+			return nil, fmt.Errorf("session: %s: partial results for unknown batch %d", where, ps.BatchID)
 		}
 		n := len(b.Points)
 		if len(ps.Ys) != n || len(ps.CostsNS) != n || len(ps.Got) != n {
-			return nil, fmt.Errorf("session: %s: partial ledger for batch %d malformed", path, ps.BatchID)
+			return nil, fmt.Errorf("session: %s: partial ledger for batch %d malformed", where, ps.BatchID)
 		}
 		pt := &partial{batch: b, ys: ps.Ys, costs: make([]time.Duration, n), got: ps.Got}
 		for i, c := range ps.CostsNS {
@@ -210,6 +321,62 @@ func Resume(cfg Config) (*Session, error) {
 		}
 		s.partials[b.ID] = pt
 		s.order = append(s.order, b.ID)
+	}
+	return s, nil
+}
+
+// Export serializes the session's complete live state — engine
+// checkpoint, partial-tell ledger, usage counters — as one snapshot
+// frame for migration into another process via Restore. Unlike the
+// regular checkpoint path, the counters cross verbatim: a Restored
+// session adopts them as-is and neither side counts the handoff frame
+// itself, so the migrated session's metrics continue exactly where an
+// unmigrated run's would be. If the session persists, the frame is also
+// saved (uncounted) so the source store's newest snapshot is the
+// handed-off state — an operator can still resume here if the import
+// never lands.
+func (s *Session) Export() ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.payloadLocked()
+	if err != nil {
+		return nil, err
+	}
+	frame, err := snapshot.Encode(p)
+	if err != nil {
+		return nil, fmt.Errorf("session: %w", err)
+	}
+	if s.store != nil {
+		if _, err := s.store.SaveEncoded(frame); err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
+	}
+	return frame, nil
+}
+
+// Restore opens a session from an Export frame on this process's side
+// of a migration. The frame must decode, belong to cfg.ID, and match
+// the engine configuration (verified by the core resume). Counters are
+// adopted verbatim — see Export for why neither side counts the handoff
+// frame. If cfg.Store is set, the frame is saved there first (also
+// uncounted), so a crash immediately after the import resumes from the
+// migrated state.
+func Restore(cfg Config, frame []byte) (*Session, error) {
+	if cfg.ID == "" {
+		return nil, errors.New("session: empty id")
+	}
+	var p payload
+	if err := snapshot.Decode(frame, &p); err != nil {
+		return nil, fmt.Errorf("session: import frame: %w", err)
+	}
+	s, err := fromPayload(cfg, &p, "import frame")
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Store != nil {
+		if _, err := cfg.Store.SaveEncoded(frame); err != nil {
+			return nil, fmt.Errorf("session: %w", err)
+		}
 	}
 	return s, nil
 }
@@ -517,15 +684,14 @@ func (s *Session) Snapshots() ([]string, error) {
 	return s.store.List()
 }
 
-func (s *Session) snapshotLocked() error {
-	if s.store == nil {
-		return nil
-	}
+// payloadLocked assembles the snapshot payload of the current state,
+// counters as they stand right now. Callers hold s.mu.
+func (s *Session) payloadLocked() (*payload, error) {
 	cp, err := s.at.Checkpoint()
 	if err != nil {
-		return fmt.Errorf("session: %w", err)
+		return nil, fmt.Errorf("session: %w", err)
 	}
-	p := payload{
+	p := &payload{
 		ID: s.id, Checkpoint: cp,
 		Asks: s.asks, Tells: s.tells,
 		Snapshots: s.snapshots, SnapshotBytes: s.snapshotBytes,
@@ -543,7 +709,18 @@ func (s *Session) snapshotLocked() error {
 			Got:     pt.got,
 		})
 	}
-	frame, err := snapshot.Encode(&p)
+	return p, nil
+}
+
+func (s *Session) snapshotLocked() error {
+	if s.store == nil {
+		return nil
+	}
+	p, err := s.payloadLocked()
+	if err != nil {
+		return err
+	}
+	frame, err := snapshot.Encode(p)
 	if err != nil {
 		return fmt.Errorf("session: %w", err)
 	}

@@ -1,0 +1,56 @@
+package snapshot
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCheckpointFrameRoundTrip: a full engine checkpoint — observation
+// matrices, packed history with sparse fallback records, pending-batch
+// ledger, stream and strategy state — survives the v3 split encoding
+// field-for-field. The fixture extends the benchmark checkpoint with
+// everything it leaves zero: asynchronous mode, fallback cycles,
+// factory/strategy blobs and in-flight batches, so every section and
+// every shell field is exercised.
+func TestCheckpointFrameRoundTrip(t *testing.T) {
+	cp := benchCheckpoint()
+	cp.Mode = 1
+	cp.FantasyFallbacks = 3
+	cp.Fallbacks = 2
+	cp.History[10].Fallback = true
+	cp.History[10].FallbackReason = "acquisition failed: singular gram"
+	cp.History[977].Fallback = true
+	cp.History[977].FallbackReason = "empty batch"
+	cp.FactoryState = []byte(`{"warm":true}`)
+	cp.StrategyState = []byte{0x01, 0x02, 0xfe}
+	cp.Pending = []core.PendingCheckpoint{
+		{
+			ID: 290, Cycle: 1025,
+			Points: [][]float64{cp.X[0], cp.X[1], cp.X[2], cp.X[3]},
+			FitNS:  610 * time.Millisecond, AcqNS: 390 * time.Millisecond,
+			StartNS: 41_000 * time.Second,
+		},
+		{
+			ID: 291, Cycle: 1026,
+			Points:   [][]float64{cp.X[4], cp.X[5], cp.X[6], cp.X[7]},
+			Fallback: true, Reason: "fantasize unsupported",
+			StartNS: 41_041 * time.Second,
+		},
+	}
+	cp.NextID = 292
+
+	frame, err := Encode(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got core.Checkpoint
+	if err := Decode(frame, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(&got, cp) {
+		t.Fatalf("checkpoint did not survive the frame:\n got %+v\nwant %+v", &got, cp)
+	}
+}

@@ -1,10 +1,12 @@
 // Package snapshot persists session checkpoints crash-safely. A snapshot
 // file is a self-describing frame — fixed magic, format version, payload
-// length and CRC32 ahead of a JSON payload — written atomically (temp
+// length and CRC32 ahead of the payload — written atomically (temp
 // file, fsync, rename, directory sync) so a crash mid-write can never
 // leave a file that both exists under a snapshot name and decodes. The
 // store keeps the newest K snapshots and, on load, falls back past
-// corrupt or truncated files to the newest one that still verifies.
+// corrupt or truncated files to the newest one that still verifies;
+// a frame from an unsupported format version fails loudly instead —
+// silently rewinding to an older frame would replay divergent state.
 package snapshot
 
 import (
@@ -13,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"math"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -30,13 +33,22 @@ import (
 //
 // Version history:
 //
-//	1 — initial frame: session payload with engine checkpoint + partials.
+//	1 — initial frame: session payload with engine checkpoint + partials,
+//	    the whole payload a single JSON document.
 //	2 — asynchronous engine era: payloads may carry the engine Mode, the
 //	    per-pending-batch start offsets and the session usage counters.
 //	    Every new field is optional with a zero-value default matching v1
 //	    semantics (synchronous mode, zero counters), so v1 frames decode
 //	    unchanged and the frame layout is identical.
-const Version = 2
+//	3 — split payload: a length-prefixed JSON section (everything small)
+//	    followed by a binary section carrying the bulk float64 data —
+//	    observation matrices, history traces, per-pending-batch points —
+//	    as raw big-endian IEEE-754 words. The frame header and the CRC
+//	    over the whole payload are unchanged; only the payload layout is
+//	    new. JSON-number parsing of the traces dominated decode (~15 ms,
+//	    ~17k allocs at n=1024 recorded cycles); the binary section
+//	    decodes in a handful of flat allocations.
+const Version = 3
 
 // minVersion is the oldest format Decode still reads.
 const minVersion = 1
@@ -53,27 +65,89 @@ const headerSize = 8 + 4 + 8 + 4
 // verification.
 var ErrCorrupt = errors.New("snapshot: corrupt frame")
 
+// ErrVersion reports a structurally intact frame whose format version
+// this build does not read — written by a newer (or retired) code
+// version. Distinct from ErrCorrupt on purpose: a corrupt newest frame
+// is a torn write and falling back to the previous snapshot is safe,
+// but a version-unsupported frame is a healthy snapshot this build
+// cannot parse, and quietly resuming from an older one would rewind the
+// session and let replayed tells diverge.
+var ErrVersion = errors.New("snapshot: unsupported format version")
+
 // ErrNoSnapshot reports that no usable snapshot exists in the store.
 var ErrNoSnapshot = errors.New("snapshot: no usable snapshot")
 
-// Encode frames v's JSON encoding: header with format version and
-// payload checksum, then the payload.
+// SectionCodec is the optional payload capability behind the v3 split
+// layout. Implementations serialize themselves as a JSON shell — every
+// field except the bulk float64 data — plus ordered binary sections
+// holding that data; the section order is the implementation's contract
+// with itself. Values without the capability still encode and decode:
+// their whole JSON document rides the shell and the section list is
+// empty. (Structural interface on purpose: implementors — core's
+// Checkpoint, session's payload — need not import this package.)
+type SectionCodec interface {
+	// MarshalSections returns the JSON shell and the binary sections.
+	MarshalSections() (shell []byte, sections [][]float64, err error)
+	// UnmarshalSections rebuilds the receiver from a decoded shell and
+	// its sections.
+	UnmarshalSections(shell []byte, sections [][]float64) error
+}
+
+// Encode frames v at the current format version: header with payload
+// checksum, then the payload — a length-prefixed JSON shell followed by
+// the binary float64 sections (empty for plain-JSON payloads).
+//
+// v3 payload layout, all integers big-endian:
+//
+//	u32 shell length | shell (JSON) | u32 section count |
+//	per section: u64 word count | count × float64 (IEEE-754 bits)
 func Encode(v any) ([]byte, error) {
-	payload, err := json.Marshal(v)
+	var shell []byte
+	var sections [][]float64
+	var err error
+	if sc, ok := v.(SectionCodec); ok {
+		shell, sections, err = sc.MarshalSections()
+	} else {
+		shell, err = json.Marshal(v)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("snapshot: encode payload: %w", err)
 	}
-	out := make([]byte, headerSize+len(payload))
+	plen := 4 + len(shell) + 4
+	for _, sec := range sections {
+		plen += 8 + 8*len(sec)
+	}
+	out := make([]byte, headerSize+plen)
 	copy(out, magic)
 	binary.BigEndian.PutUint32(out[8:], Version)
-	binary.BigEndian.PutUint64(out[12:], uint64(len(payload)))
-	binary.BigEndian.PutUint32(out[20:], crc32.ChecksumIEEE(payload))
-	copy(out[headerSize:], payload)
+	binary.BigEndian.PutUint64(out[12:], uint64(plen))
+	off := headerSize
+	binary.BigEndian.PutUint32(out[off:], uint32(len(shell)))
+	off += 4
+	copy(out[off:], shell)
+	off += len(shell)
+	binary.BigEndian.PutUint32(out[off:], uint32(len(sections)))
+	off += 4
+	for _, sec := range sections {
+		binary.BigEndian.PutUint64(out[off:], uint64(len(sec)))
+		off += 8
+		for _, f := range sec {
+			binary.BigEndian.PutUint64(out[off:], math.Float64bits(f))
+			off += 8
+		}
+	}
+	binary.BigEndian.PutUint32(out[20:], crc32.ChecksumIEEE(out[headerSize:]))
 	return out, nil
 }
 
 // Decode verifies a frame and unmarshals its payload into v: magic,
 // supported version, exact payload length and checksum must all hold.
+// Frames from format versions below 3 carry a single JSON document and
+// decode through encoding/json unchanged; v3 frames decode their binary
+// sections into v's SectionCodec. A version outside [minVersion,
+// Version] returns ErrVersion; every structural failure — truncation,
+// checksum mismatch, a binary section overrunning the payload — returns
+// ErrCorrupt.
 func Decode(data []byte, v any) error {
 	if len(data) < headerSize {
 		return fmt.Errorf("%w: %d bytes, header needs %d", ErrCorrupt, len(data), headerSize)
@@ -83,7 +157,7 @@ func Decode(data []byte, v any) error {
 	}
 	version := binary.BigEndian.Uint32(data[8:])
 	if version < minVersion || version > Version {
-		return fmt.Errorf("snapshot: format version %d not supported (this build reads %d-%d)", version, minVersion, Version)
+		return fmt.Errorf("%w %d (this build reads %d-%d)", ErrVersion, version, minVersion, Version)
 	}
 	plen := binary.BigEndian.Uint64(data[12:])
 	if plen != uint64(len(data)-headerSize) {
@@ -93,10 +167,73 @@ func Decode(data []byte, v any) error {
 	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(data[20:]) {
 		return fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
 	}
-	if err := json.Unmarshal(payload, v); err != nil {
+	if version < 3 {
+		if err := json.Unmarshal(payload, v); err != nil {
+			return fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+		}
+		return nil
+	}
+	shell, sections, err := splitPayload(payload)
+	if err != nil {
+		return err
+	}
+	if sc, ok := v.(SectionCodec); ok {
+		if err := sc.UnmarshalSections(shell, sections); err != nil {
+			return fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
+		}
+		return nil
+	}
+	if len(sections) > 0 {
+		return fmt.Errorf("snapshot: frame carries %d binary sections but %T cannot receive them", len(sections), v)
+	}
+	if err := json.Unmarshal(shell, v); err != nil {
 		return fmt.Errorf("%w: payload: %v", ErrCorrupt, err)
 	}
 	return nil
+}
+
+// splitPayload parses the v3 payload layout. The CRC already verified
+// the bytes, so any structural inconsistency here means the frame was
+// truncated or assembled wrong — ErrCorrupt either way.
+func splitPayload(payload []byte) (shell []byte, sections [][]float64, err error) {
+	if len(payload) < 4 {
+		return nil, nil, fmt.Errorf("%w: payload too short for shell length", ErrCorrupt)
+	}
+	slen := binary.BigEndian.Uint32(payload)
+	rest := payload[4:]
+	if uint64(slen) > uint64(len(rest)) {
+		return nil, nil, fmt.Errorf("%w: shell declares %d bytes, payload holds %d", ErrCorrupt, slen, len(rest))
+	}
+	shell, rest = rest[:slen], rest[slen:]
+	if len(rest) < 4 {
+		return nil, nil, fmt.Errorf("%w: payload too short for section count", ErrCorrupt)
+	}
+	nsec := binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	sections = make([][]float64, nsec)
+	for i := range sections {
+		if len(rest) < 8 {
+			return nil, nil, fmt.Errorf("%w: binary section %d truncated", ErrCorrupt, i)
+		}
+		n := binary.BigEndian.Uint64(rest)
+		rest = rest[8:]
+		if n > uint64(len(rest))/8 {
+			return nil, nil, fmt.Errorf("%w: binary section %d declares %d words, payload holds %d bytes", ErrCorrupt, i, n, len(rest))
+		}
+		if n == 0 {
+			continue
+		}
+		sec := make([]float64, n)
+		for j := range sec {
+			sec[j] = math.Float64frombits(binary.BigEndian.Uint64(rest[8*j:]))
+		}
+		sections[i] = sec
+		rest = rest[8*n:]
+	}
+	if len(rest) != 0 {
+		return nil, nil, fmt.Errorf("%w: %d bytes trail the binary sections", ErrCorrupt, len(rest))
+	}
+	return shell, sections, nil
 }
 
 // Store persists a sequence of snapshots in one directory.
@@ -150,9 +287,14 @@ func (s *Store) SaveEncoded(frame []byte) (path string, err error) {
 	if err := WriteFileDurable(path, frame); err != nil {
 		return "", err
 	}
+	// Pruning is best-effort: the new frame is already durable, and a
+	// failed removal must not turn the successful save into a reported
+	// failure — callers would record a snapshot that never happened (and
+	// skip its bytes) for a frame that is on disk. A file that resists
+	// removal is retried by the next save's prune pass.
 	for len(seqs) >= s.keep() {
 		if err := os.Remove(s.path(seqs[0])); err != nil && !os.IsNotExist(err) {
-			return "", fmt.Errorf("snapshot: prune: %w", err)
+			break
 		}
 		seqs = seqs[1:]
 	}
@@ -161,7 +303,11 @@ func (s *Store) SaveEncoded(frame []byte) (path string, err error) {
 
 // LoadLatest decodes the newest snapshot that verifies into v, skipping
 // corrupt or truncated files, and returns its path. ErrNoSnapshot is
-// returned when the directory holds no snapshot that decodes.
+// returned when the directory holds no snapshot that decodes. A newest
+// frame from an unsupported format version is NOT skipped: it is a
+// healthy snapshot this build cannot read, and falling back to an older
+// one would silently rewind the session — LoadLatest fails loudly with
+// ErrVersion instead.
 func (s *Store) LoadLatest(v any) (path string, err error) {
 	seqs, err := s.sequence()
 	if err != nil {
@@ -176,6 +322,9 @@ func (s *Store) LoadLatest(v any) (path string, err error) {
 			continue
 		}
 		if err := Decode(data, v); err != nil {
+			if errors.Is(err, ErrVersion) {
+				return "", fmt.Errorf("%s: %w", filepath.Base(p), err)
+			}
 			lastErr = fmt.Errorf("%s: %w", filepath.Base(p), err)
 			continue
 		}

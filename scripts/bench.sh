@@ -187,6 +187,27 @@ if [ "$CHECK" = "1" ]; then
         fi
     done
 
+    # Snapshot decode floors (format v3, binary trace sections): the
+    # n=1024 decode must hold at most 100 allocs/op (the sectioned layout
+    # lands at ~21 — a regression here means a matrix path went back
+    # through per-element JSON) and at most 40% of the v2 whole-JSON
+    # decode's 15.2 ms (6084544 ns; v3 measures ~0.23 ms, so the ceiling
+    # is generous to host noise while still refusing a fallback to JSON).
+    getsnap() {
+        awk -v n="BenchmarkSnapshotDecode1024" -v f="$1" \
+            '$1 ~ "^"n"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)==f) print $i }' "$rawsnap"
+    }
+    decallocs=$(getsnap "allocs/op")
+    decns=$(getsnap "ns/op")
+    if [ -n "$decallocs" ] && [ "$decallocs" -gt 100 ]; then
+        echo "bench.sh: FAIL: SnapshotDecode1024 allocates $decallocs/op, budget 100" >&2
+        fail=1
+    fi
+    if [ -n "$decns" ] && awk -v d="$decns" 'BEGIN { exit !(d > 6084544) }'; then
+        echo "bench.sh: FAIL: SnapshotDecode1024 ($decns ns/op) exceeds 40% of the v2 JSON baseline (6084544 ns)" >&2
+        fail=1
+    fi
+
     # Fit floors. The banded parallel LML path is bit-identical to the
     # forced-serial path, so it may be chosen purely on speed — and must
     # therefore never cost more than 1.10× serial (inline dispatch at one

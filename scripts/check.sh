@@ -85,9 +85,13 @@ echo "== kill-and-resume determinism under -race"
 # pinned at every layer — core LIFO replay, the portfolio bandit's
 # checkpointed arm statistics, the session ledger with fantasized points
 # in flight (plus its worker-pool goroutine-leak check), and the HTTP
-# kill-and-resume with metrics bit-identity.
+# kill-and-resume with metrics bit-identity. The migration protocol rides
+# in the same group: the kill-migrate-resume chain with Result AND
+# Metrics bit-identity, the export/import edge contract, the two-process
+# pboserver migration e2e, and the cross-version golden-frame decode
+# matrix that keeps v1/v2 snapshots resumable.
 go test -race \
-    -run 'TestAskTellCheckpointResume|TestStrategyKillAndResume|TestSessionKillAndResume|TestSessionResumeSurvivesCorruptNewestSnapshot|TestServerConcurrentSessions|TestServerKillAndResume|TestServerSIGTERMDrainAndResume|TestAsyncKillAndResume|TestPortfolioAsyncKillAndResume|TestSessionAsyncKillAndResume|TestSessionAsyncWorkerPoolDrains|TestServerAsyncKillAndResume' \
+    -run 'TestAskTellCheckpointResume|TestStrategyKillAndResume|TestSessionKillAndResume|TestSessionResumeSurvivesCorruptNewestSnapshot|TestServerConcurrentSessions|TestServerKillAndResume|TestServerSIGTERMDrainAndResume|TestAsyncKillAndResume|TestPortfolioAsyncKillAndResume|TestSessionAsyncKillAndResume|TestSessionAsyncWorkerPoolDrains|TestServerAsyncKillAndResume|TestServerMigrateBitIdentity|TestServerExportImportLifecycle|TestServerMigrateTwoProcesses|TestGoldenFramesCrossVersionDecode|TestResumeFailsLoudOnFutureVersion' \
     -count 1 ./internal/core/ ./internal/strategy/ ./internal/session/ ./internal/serve/ ./cmd/pboserver/
 
 echo "== alloc-regression tests (no race detector)"
