@@ -14,11 +14,27 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/strategy"
 	"repro/internal/uphes"
 )
+
+// usageErr reports a command-line validation failure and exits with the
+// flag package's usage status.
+func usageErr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "uphes-sched: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(2)
+}
+
+// knownStrategy reports whether name resolves in the strategy registry
+// (canonical names and short aliases alike).
+func knownStrategy(name string) bool {
+	_, err := strategy.ByName(name)
+	return err == nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -40,6 +56,21 @@ func main() {
 			fmt.Println(s)
 		}
 		return
+	}
+
+	// Usage errors exit 2 (the flag package's convention), before any
+	// simulator work starts.
+	if *batch <= 0 {
+		usageErr("batch size must be positive, got %d", *batch)
+	}
+	if *budget <= 0 {
+		usageErr("budget must be positive, got %v", *budget)
+	}
+	if *scenarios <= 0 {
+		usageErr("scenario count must be positive, got %d", *scenarios)
+	}
+	if !knownStrategy(*strategyName) {
+		usageErr("unknown strategy %q (valid: %s)", *strategyName, strings.Join(pbo.Strategies(), ", "))
 	}
 
 	cfg := pbo.DefaultUPHESConfig()

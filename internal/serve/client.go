@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -27,6 +28,29 @@ type Client struct {
 // has outstanding initial-design batches and cannot hand out more work
 // until their results are told.
 var ErrNotReady = core.ErrNoBatchReady
+
+// HTTPError is a non-2xx server response with its decoded error body.
+// Clients that branch on the status — the fleet runner's attach protocol
+// distinguishes "unknown session" (404, create it) from "already exists"
+// (409, attach to it) — unwrap it with errors.As.
+type HTTPError struct {
+	// Code is the HTTP status code.
+	Code int
+	// Message is the server's error body.
+	Message string
+}
+
+// Error implements error.
+func (e *HTTPError) Error() string { return fmt.Sprintf("%d: %s", e.Code, e.Message) }
+
+// StatusCode reports err's HTTP status, or 0 when err carries none.
+func StatusCode(err error) int {
+	var he *HTTPError
+	if errors.As(err, &he) {
+		return he.Code
+	}
+	return 0
+}
 
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
@@ -67,11 +91,12 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		return fmt.Errorf("serve client: %s %s: read body: %w", method, path, err)
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg := string(raw)
 		var eb errorBody
 		if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
-			return fmt.Errorf("serve client: %s %s: %d: %s", method, path, resp.StatusCode, eb.Error)
+			msg = eb.Error
 		}
-		return fmt.Errorf("serve client: %s %s: %d: %s", method, path, resp.StatusCode, raw)
+		return fmt.Errorf("serve client: %s %s: %w", method, path, &HTTPError{Code: resp.StatusCode, Message: msg})
 	}
 	if out == nil {
 		return nil

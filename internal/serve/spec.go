@@ -14,20 +14,27 @@ import (
 	"repro/internal/benchfunc"
 	"repro/internal/core"
 	"repro/internal/parallel"
+	"repro/internal/scenario"
 	"repro/internal/strategy"
 	"repro/internal/uphes"
 )
 
-// ProblemSpec names an objective the server knows how to assemble. Two
+// ProblemSpec names an objective the server knows how to assemble. Three
 // kinds exist: "uphes" (the paper's pumped-hydro scheduling simulator
-// with its default plant and market, Dim = 12) and "benchmark" (one of
-// the paper's synthetic suite by name and dimension).
+// with its default plant and market, Dim = 12), "benchmark" (one of
+// the paper's synthetic suite by name and dimension) and "scenario" (one
+// rolling-horizon cell of a scenario-engine fleet: member m, day d,
+// horizon h, constrained objective with the two-GP feasibility factory).
 type ProblemSpec struct {
 	Kind string `json:"kind"`
 	// Name selects the benchmark function (benchmark kind only).
 	Name string `json:"name,omitempty"`
 	// Dim is the benchmark input dimension (benchmark kind only).
 	Dim int `json:"dim,omitempty"`
+	// Scenario locates the rolling-horizon cell (scenario kind only).
+	// The server regenerates the cell's inputs from the embedded seeds —
+	// the spec carries no data, only identity.
+	Scenario *scenario.DaySpec `json:"scenario,omitempty"`
 	// SimLatencyNS is the artificial per-simulation cost charged to the
 	// virtual clock (default 10s, the paper's setting).
 	SimLatencyNS int64 `json:"sim_latency_ns,omitempty"`
@@ -82,6 +89,10 @@ func (s *SessionSpec) Validate() error {
 	}
 	switch s.Problem.Kind {
 	case "uphes", "benchmark":
+	case "scenario":
+		if s.Problem.Scenario == nil {
+			return fmt.Errorf("serve: session %s: scenario problem without a day spec", s.ID)
+		}
 	default:
 		return fmt.Errorf("serve: session %s: unknown problem kind %q", s.ID, s.Problem.Kind)
 	}
@@ -113,6 +124,13 @@ func (s *SessionSpec) Engine() (*core.Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: session %s: %w", s.ID, err)
 	}
+	if s.Problem.Kind == "scenario" {
+		eng, err := s.scenarioEngine()
+		if err != nil {
+			return nil, fmt.Errorf("serve: session %s: %w", s.ID, err)
+		}
+		return eng, nil
+	}
 	problem, err := s.Problem.build()
 	if err != nil {
 		return nil, fmt.Errorf("serve: session %s: %w", s.ID, err)
@@ -139,6 +157,34 @@ func (s *SessionSpec) Engine() (*core.Engine, error) {
 		},
 		Seed: s.Seed,
 	}, nil
+}
+
+// scenarioEngine assembles the rolling-horizon cell's engine through
+// scenario.DaySpec.Engine — the same constructor the in-process runner
+// uses — so a session created remotely replays the identical run: same
+// derived seed, same constrained two-GP factory, same MaxCycles-bounded
+// schedule. BudgetNS is ignored for this kind (cells terminate on cycle
+// count by construction).
+func (s *SessionSpec) scenarioEngine() (*core.Engine, error) {
+	spec := *s.Problem.Scenario
+	if spec.SimLatencyNS <= 0 {
+		spec.SimLatencyNS = s.Problem.simLatency()
+	}
+	eng, _, err := spec.Engine(scenario.OptConfig{
+		Strategy:       s.Strategy,
+		Mode:           s.Mode,
+		BatchSize:      s.BatchSize,
+		InitSamples:    s.InitSamples,
+		MaxCycles:      s.MaxCycles,
+		Workers:        s.Workers,
+		OverheadFactor: s.OverheadFactor,
+		Restarts:       s.Model.Restarts,
+		MaxIter:        s.Model.MaxIter,
+		FitSubsetMax:   s.Model.FitSubsetMax,
+		RefitEvery:     s.Model.RefitEvery,
+		Seed:           s.Seed,
+	})
+	return eng, err
 }
 
 func (p *ProblemSpec) simLatency() time.Duration {

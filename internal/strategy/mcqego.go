@@ -72,7 +72,11 @@ func proposeJointQEI(ctx context.Context, model surrogate.Surrogate, st *core.St
 	}
 	qei := acq.NewQEI(q, samples, st.BestY, p.Minimize, stream.Split(0))
 	flat := qei.FlatObjective(model, d)
-	neg := func(x []float64) float64 { return -flat(x) }
+	// Constraint-aware runs weight the joint criterion by the product of
+	// per-point feasibility probabilities (the independence approximation
+	// of aphBO's PoF multiplier); plain surrogates weigh 1 and the
+	// objective — and the golden traces — are untouched.
+	neg := func(x []float64) float64 { return -flat(x) * acq.PoFProduct(model, x, q, d) }
 
 	// Flattened bounds.
 	flo := make([]float64, q*d)

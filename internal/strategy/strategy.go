@@ -49,7 +49,15 @@ func (o AFOpt) defaults() AFOpt {
 // multi-start L-BFGS with the model's gradient information. Anchors (e.g.
 // the incumbent) seed additional perturbed starts. Cancelling ctx skips
 // pending restarts; the best completed restart is still returned.
+//
+// When the surrogate carries a constraint model (acq.FeasibilityProvider,
+// fitted by the scenario engine's constrained factory), the criterion is
+// transparently weighted by the probability of feasibility — this one
+// seam makes every strategy that optimizes a single-point criterion
+// constraint-aware. Plain surrogates pass through unweighted, so
+// unconstrained runs (and their golden traces) are untouched.
 func (o AFOpt) Maximize(ctx context.Context, m surrogate.Surrogate, af acq.Acquisition, lo, hi []float64, anchors [][]float64, stream *rng.Stream) ([]float64, float64) {
+	af = acq.Weighted(af, m)
 	cfg := o.defaults()
 	obj := func(x, grad []float64) float64 {
 		v := af.EvalWithGrad(m, x, grad)

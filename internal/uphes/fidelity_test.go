@@ -26,11 +26,11 @@ func TestPenstockLossReducesProfit(t *testing.T) {
 
 func TestPenstockLossIncreasesTurbineFlow(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	q0 := pl.turbineFlow(7)
 	cfg2 := cfg
 	cfg2.PenstockLossCoeff = 0.15
-	pl2 := newPlant(&cfg2)
+	pl2 := NewPlant(&cfg2)
 	q1 := pl2.turbineFlow(7)
 	// Same power from a smaller effective head needs more water.
 	if q1 <= q0 {

@@ -18,6 +18,13 @@ type scenario struct {
 	activated [ReserveSlots]float64
 }
 
+// BasePrice returns the deterministic day-ahead price shape at hour h —
+// the curve the scenario generator reshapes seasonally and perturbs with
+// bootstrapped residuals.
+func BasePrice(m *MarketConfig, h float64) float64 {
+	return basePrice(m, h)
+}
+
 // basePrice returns the deterministic day-ahead price shape at hour h —
 // overnight dip, morning peak around 08:30, evening peak around 19:00.
 func basePrice(m *MarketConfig, h float64) float64 {

@@ -8,30 +8,78 @@ const (
 	gravity  = 9.81   // m/s²
 )
 
-// plant carries the hydraulic state of the two reservoirs during one
-// simulated day.
-type plant struct {
+// Plant carries the hydraulic state of the two reservoirs during one
+// simulated day. The rolling-horizon scenario driver threads this state
+// across days: State captures it after a committed day, SetState seeds the
+// next day's plant with it.
+type Plant struct {
 	cfg *PlantConfig
 	// upperV and lowerV are the current stored volumes [m³].
 	upperV, lowerV float64
 }
 
-func newPlant(cfg *PlantConfig) *plant {
-	return &plant{
+// NewPlant returns a plant at the configured initial fill.
+func NewPlant(cfg *PlantConfig) *Plant {
+	return &Plant{
 		cfg:    cfg,
 		upperV: cfg.InitialFill * cfg.UpperVolumeMax,
 		lowerV: cfg.InitialFill * cfg.LowerVolumeMax,
 	}
 }
 
+// PlantState is the carried hydraulic state between simulated days: the
+// stored volumes of both reservoirs [m³]. It serializes on the scenario
+// wire (serve's DaySpec), so the fields are exported and JSON-tagged.
+type PlantState struct {
+	UpperV float64 `json:"upper_v"`
+	LowerV float64 `json:"lower_v"`
+}
+
+// DefaultState returns the initial-fill state NewPlant starts from.
+func DefaultState(cfg *PlantConfig) PlantState {
+	return PlantState{
+		UpperV: cfg.InitialFill * cfg.UpperVolumeMax,
+		LowerV: cfg.InitialFill * cfg.LowerVolumeMax,
+	}
+}
+
+// Clone returns an independent copy of the plant sharing only the
+// immutable configuration.
+func (p *Plant) Clone() *Plant {
+	c := *p
+	return &c
+}
+
+// State returns the current reservoir volumes.
+func (p *Plant) State() PlantState {
+	return PlantState{UpperV: p.upperV, LowerV: p.lowerV}
+}
+
+// SetState installs carried-over reservoir volumes. Values are clamped
+// into [0, capacity] with the bounds themselves included: a reservoir
+// sitting exactly at a bound is a legal state, not an error — the day-
+// boundary contract the scenario engine's feasibility accounting relies
+// on (a schedule that parks the level exactly on a bound must not trip a
+// violation on the next day's first step).
+func (p *Plant) SetState(s PlantState) {
+	p.upperV = clamp(s.UpperV, 0, p.cfg.UpperVolumeMax)
+	p.lowerV = clamp(s.LowerV, 0, p.cfg.LowerVolumeMax)
+}
+
+// UpperFill and LowerFill return the fill fractions in [0, 1].
+func (p *Plant) UpperFill() float64 { return p.upperV / p.cfg.UpperVolumeMax }
+
+// LowerFill returns the lower-basin fill fraction in [0, 1].
+func (p *Plant) LowerFill() float64 { return p.lowerV / p.cfg.LowerVolumeMax }
+
 // upperLevel returns the upper water surface elevation [m].
-func (p *plant) upperLevel() float64 {
+func (p *Plant) upperLevel() float64 {
 	return p.cfg.UpperBase + p.upperV/p.cfg.UpperArea
 }
 
 // lowerLevel returns the underground water surface elevation [m]. The pit
 // narrows toward the bottom: level rises steeply when nearly empty.
-func (p *plant) lowerLevel() float64 {
+func (p *Plant) lowerLevel() float64 {
 	frac := p.lowerV / p.cfg.LowerVolumeMax
 	if frac < 0 {
 		frac = 0
@@ -40,31 +88,31 @@ func (p *plant) lowerLevel() float64 {
 }
 
 // head returns the net hydraulic head [m] between the two surfaces.
-func (p *plant) head() float64 {
+func (p *Plant) head() float64 {
 	return p.upperLevel() - p.lowerLevel()
 }
 
 // headSafe reports whether the head lies in the safe operating range.
-func (p *plant) headSafe() bool {
+func (p *Plant) headSafe() bool {
 	h := p.head()
 	return h >= p.cfg.HeadMin && h <= p.cfg.HeadMax
 }
 
 // headRatio is h/h_nom, the scaling of head-dependent quantities.
-func (p *plant) headRatio() float64 { return p.head() / p.cfg.HeadNominal }
+func (p *Plant) headRatio() float64 { return p.head() / p.cfg.HeadNominal }
 
 // pumpRange returns the feasible pump power range [MW] at the current
 // head. Higher head demands more power to move water: the range shifts up
 // with head (limits scale with h/h_nom to the 1.5 power, the usual
 // similarity law for variable-speed machines).
-func (p *plant) pumpRange() (lo, hi float64) {
+func (p *Plant) pumpRange() (lo, hi float64) {
 	s := math.Pow(p.headRatio(), 1.5)
 	return p.cfg.PumpMinMW * s, p.cfg.PumpMaxMW * s
 }
 
 // turbineRange returns the feasible turbine power range [MW] at the
 // current head. Low head restricts the maximum output sharply.
-func (p *plant) turbineRange() (lo, hi float64) {
+func (p *Plant) turbineRange() (lo, hi float64) {
 	s := math.Pow(p.headRatio(), 1.5)
 	return p.cfg.TurbineMinMW * s, p.cfg.TurbineMaxMW * s
 }
@@ -72,7 +120,7 @@ func (p *plant) turbineRange() (lo, hi float64) {
 // cavitationZone returns the turbine forbidden band [MW] at the current
 // head (vibration zone, scaled with head). Operation inside the band is
 // unsafe and penalized.
-func (p *plant) cavitationZone() (lo, hi float64) {
+func (p *Plant) cavitationZone() (lo, hi float64) {
 	s := math.Pow(p.headRatio(), 1.5)
 	return p.cfg.CavitationLow * s, p.cfg.CavitationHigh * s
 }
@@ -81,7 +129,7 @@ func (p *plant) cavitationZone() (lo, hi float64) {
 // ~85% of the head-adjusted maximum and degrades quadratically with power
 // deviation and with head deviation from nominal — a smooth non-convex
 // performance surface.
-func (p *plant) turbineEff(P float64) float64 {
+func (p *Plant) turbineEff(P float64) float64 {
 	_, hi := p.turbineRange()
 	if hi <= 0 {
 		return 0.01
@@ -97,7 +145,7 @@ func (p *plant) turbineEff(P float64) float64 {
 }
 
 // pumpEff returns the pump efficiency at power P [MW].
-func (p *plant) pumpEff(P float64) float64 {
+func (p *Plant) pumpEff(P float64) float64 {
 	_, hi := p.pumpRange()
 	if hi <= 0 {
 		return 0.01
@@ -115,7 +163,7 @@ func (p *plant) pumpEff(P float64) float64 {
 // turbineFlow returns the discharge [m³/s] needed to generate P MW at the
 // current head: Q = P / (η·ρ·g·h_eff). With penstock losses enabled the
 // effective head shrinks by c·Q², solved by a few fixed-point sweeps.
-func (p *plant) turbineFlow(P float64) float64 {
+func (p *Plant) turbineFlow(P float64) float64 {
 	h := p.head()
 	if h <= 0 {
 		return 0
@@ -136,7 +184,7 @@ func (p *plant) turbineFlow(P float64) float64 {
 // pumpFlow returns the lift flow [m³/s] achieved by P MW of pumping:
 // Q = η·P / (ρ·g·h_eff). Penstock losses increase the head the pump must
 // overcome.
-func (p *plant) pumpFlow(P float64) float64 {
+func (p *Plant) pumpFlow(P float64) float64 {
 	h := p.head()
 	if h <= 0 {
 		return 0
@@ -153,7 +201,7 @@ func (p *plant) pumpFlow(P float64) float64 {
 
 // moveTurbine discharges volume v [m³] from upper to lower, clamped by
 // availability; returns the fraction actually movable.
-func (p *plant) moveTurbine(v float64) float64 {
+func (p *Plant) moveTurbine(v float64) float64 {
 	if v <= 0 {
 		return 1
 	}
@@ -170,7 +218,7 @@ func (p *plant) moveTurbine(v float64) float64 {
 
 // movePump lifts volume v [m³] from lower to upper, clamped by
 // availability; returns the fraction actually movable.
-func (p *plant) movePump(v float64) float64 {
+func (p *Plant) movePump(v float64) float64 {
 	if v <= 0 {
 		return 1
 	}
@@ -189,7 +237,7 @@ func (p *plant) movePump(v float64) float64 {
 // surrounding rock mass over dt seconds: Darcy-like flow proportional to
 // the level difference to the water table. Positive exchange fills the
 // basin.
-func (p *plant) groundwaterStep(dtSeconds float64) float64 {
+func (p *Plant) groundwaterStep(dtSeconds float64) float64 {
 	diff := p.cfg.GroundwaterLevel - p.lowerLevel()
 	flow := p.cfg.GroundwaterRate * diff // m³/s, signed
 	dv := flow * dtSeconds
@@ -209,7 +257,7 @@ func (p *plant) groundwaterStep(dtSeconds float64) float64 {
 }
 
 // inflowStep adds natural inflow [m³/s over dt seconds] to the lower basin.
-func (p *plant) inflowStep(flow, dtSeconds float64) {
+func (p *Plant) inflowStep(flow, dtSeconds float64) {
 	dv := flow * dtSeconds
 	if dv < 0 {
 		dv = 0
@@ -224,7 +272,7 @@ func (p *plant) inflowStep(flow, dtSeconds float64) {
 // storedEnergyMWh returns the potential energy of the upper reservoir
 // relative to the current head, net of turbine efficiency — the water
 // value basis for the end-of-day settlement.
-func (p *plant) storedEnergyMWh() float64 {
+func (p *Plant) storedEnergyMWh() float64 {
 	h := p.head()
 	if h <= 0 {
 		return 0

@@ -106,10 +106,94 @@ const (
 	modePump
 )
 
-// simulate runs one scenario day and returns its itemized profit.
+// DayInput is one explicit realized day of exogenous inputs: the price
+// path, the natural inflow and the reserve activations. The Monte-Carlo
+// expected-profit path (Detail) draws its own scenarios; the scenario
+// engine's rolling-horizon driver instead simulates one realized path per
+// day, generated deterministically by internal/scenario.
+type DayInput struct {
+	// Price[t] is the day-ahead energy price at step t [EUR/MWh].
+	Price [Steps]float64
+	// Inflow is the natural inflow for the day [m³/s].
+	Inflow float64
+	// Activated[r] is the activation fraction of reserve slot r in [0,1].
+	Activated [ReserveSlots]float64
+}
+
+// DayMetrics reports the operational envelope of one simulated day: the
+// extreme fill fractions reached by each reservoir and the number of
+// pump↔turbine mode switches (a pump→idle→turbine sequence counts as one
+// switch — what wears the machine is the reversal, not the idle dwell).
+// The scenario engine's constraint accounting is built on these.
+type DayMetrics struct {
+	MinUpperFill, MaxUpperFill float64
+	MinLowerFill, MaxLowerFill float64
+	Switches                   int
+
+	lastActive opMode
+}
+
+func (dm *DayMetrics) init(pl *Plant) {
+	dm.MinUpperFill, dm.MaxUpperFill = pl.UpperFill(), pl.UpperFill()
+	dm.MinLowerFill, dm.MaxLowerFill = pl.LowerFill(), pl.LowerFill()
+}
+
+func (dm *DayMetrics) observe(pl *Plant, mode opMode) {
+	if mode != modeIdle {
+		if dm.lastActive != modeIdle && dm.lastActive != mode {
+			dm.Switches++
+		}
+		dm.lastActive = mode
+	}
+	if f := pl.UpperFill(); f < dm.MinUpperFill {
+		dm.MinUpperFill = f
+	} else if f > dm.MaxUpperFill {
+		dm.MaxUpperFill = f
+	}
+	if f := pl.LowerFill(); f < dm.MinLowerFill {
+		dm.MinLowerFill = f
+	} else if f > dm.MaxLowerFill {
+		dm.MaxLowerFill = f
+	}
+}
+
+// SimulateDay runs one day of schedule x from the given start state under
+// the explicit inputs in, returning the itemized profit (Profit includes
+// the daily fixed cost), the end-of-day reservoir state and the day's
+// operational metrics. It is the scenario engine's entry point: unlike
+// Profit/Detail it evaluates a single realized path, not a Monte-Carlo
+// average, and carries reservoir state instead of resetting to the
+// configured initial fill.
+func (s *Simulator) SimulateDay(x []float64, start PlantState, in *DayInput) (Breakdown, PlantState, DayMetrics) {
+	if len(x) != Dim {
+		panic(fmt.Sprintf("uphes: decision vector length %d, want %d", len(x), Dim))
+	}
+	sc := scenario{price: in.Price, inflow: in.Inflow, activated: in.Activated}
+	pl := NewPlant(&s.cfg.Plant)
+	pl.SetState(start)
+	var dm DayMetrics
+	b := s.simulateOn(x, &sc, pl, &dm)
+	b.Profit = b.EnergyRevenue + b.ReserveRevenue + b.StoredValue -
+		b.ImbalancePenalty - b.ReservePenalty - b.CavitationPenalty -
+		s.cfg.Market.DailyFixedCost
+	return b, pl.State(), dm
+}
+
+// simulate runs one scenario day from the configured initial fill and
+// returns its itemized profit — the Monte-Carlo expected-profit path.
 func (s *Simulator) simulate(x []float64, sc *scenario) Breakdown {
+	return s.simulateOn(x, sc, NewPlant(&s.cfg.Plant), nil)
+}
+
+// simulateOn runs one scenario day of schedule x on the given plant,
+// mutating its state in place. A non-nil dm accumulates operational
+// metrics; the profit arithmetic is identical either way (the historical
+// Monte-Carlo path passes nil and stays bit-identical).
+func (s *Simulator) simulateOn(x []float64, sc *scenario, pl *Plant, dm *DayMetrics) Breakdown {
 	cfg := &s.cfg
-	pl := newPlant(&cfg.Plant)
+	if dm != nil {
+		dm.init(pl)
+	}
 	var b Breakdown
 	startEnergy := pl.storedEnergyMWh()
 	dtSec := StepHours * 3600
@@ -257,6 +341,10 @@ func (s *Simulator) simulate(x []float64, sc *scenario) Breakdown {
 					b.ReservePenalty += want * StepHours * cfg.Market.ReserveShortfallPenalty
 				}
 			}
+		}
+
+		if dm != nil {
+			dm.observe(pl, mode)
 		}
 	}
 

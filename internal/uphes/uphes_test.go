@@ -270,7 +270,7 @@ func TestConcurrentEvaluationsRaceFree(t *testing.T) {
 
 func TestPlantHeadAtInitialFill(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	h := pl.head()
 	if h < cfg.HeadMin || h > cfg.HeadMax {
 		t.Fatalf("initial head %v outside safe range [%v, %v]", h, cfg.HeadMin, cfg.HeadMax)
@@ -282,7 +282,7 @@ func TestPlantHeadAtInitialFill(t *testing.T) {
 
 func TestHeadIncreasesWithPumping(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	h0 := pl.head()
 	pl.movePump(50000)
 	if pl.head() <= h0 {
@@ -292,7 +292,7 @@ func TestHeadIncreasesWithPumping(t *testing.T) {
 
 func TestVolumeConservationInMoves(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	total := pl.upperV + pl.lowerV
 	pl.moveTurbine(30000)
 	pl.movePump(10000)
@@ -303,7 +303,7 @@ func TestVolumeConservationInMoves(t *testing.T) {
 
 func TestMoveClampsAtCapacity(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	pl.upperV = 1000
 	frac := pl.moveTurbine(50000) // only 1000 m³ available
 	if frac >= 1 {
@@ -316,7 +316,7 @@ func TestMoveClampsAtCapacity(t *testing.T) {
 
 func TestGroundwaterSignAndDirection(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	// Nearly empty basin sits below the water table: inflow.
 	pl.lowerV = 0.01 * cfg.LowerVolumeMax
 	if dv := pl.groundwaterStep(3600); dv <= 0 {
@@ -331,7 +331,7 @@ func TestGroundwaterSignAndDirection(t *testing.T) {
 
 func TestEfficienciesInRange(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	for _, p := range []float64{4, 5, 6, 7, 8} {
 		if e := pl.turbineEff(p); e <= 0 || e > cfg.TurbineEff {
 			t.Fatalf("turbine eff(%v) = %v", p, e)
@@ -344,7 +344,7 @@ func TestEfficienciesInRange(t *testing.T) {
 
 func TestRangesScaleWithHead(t *testing.T) {
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	_, tHiNominal := pl.turbineRange()
 	// Drain the upper reservoir: head drops, turbine max drops.
 	pl.upperV = 0.05 * cfg.UpperVolumeMax
@@ -359,7 +359,7 @@ func TestStoredEnergyMagnitude(t *testing.T) {
 	// Full upper reservoir at nominal-ish head ≈ 80 MWh (the Maizeret
 	// energy capacity).
 	cfg := DefaultConfig().Plant
-	pl := newPlant(&cfg)
+	pl := NewPlant(&cfg)
 	pl.upperV = cfg.UpperVolumeMax
 	e := pl.storedEnergyMWh()
 	if e < 60 || e > 110 {

@@ -18,6 +18,8 @@
 #   async    — whole-engine virtual-throughput runs (evals-per-vhour) of
 #              the batch-synchronous vs asynchronous protocols on a
 #              heterogeneous-latency workload -> BENCH_async.json
+#   scenario — rolling-horizon fleet throughput (days-per-minute of wall
+#              time) serial vs member-parallel -> BENCH_scenario.json
 #
 # Usage:
 #   ./scripts/bench.sh             # full-accuracy run -> all JSON files
@@ -32,11 +34,14 @@
 #                      because one LML evaluation at n=1024 runs ~0.5 s)
 #   BENCHTIME_ASYNC    async -benchtime value (default 2s; each iteration
 #                      is one full budget-bounded engine run)
+#   BENCHTIME_SCENARIO scenario -benchtime value (default 2s; each
+#                      iteration is one full in-process fleet run)
 #   OUT                hotpath JSON path (default BENCH_hotpath.json)
 #   OUT_LINALG         linalg JSON path (default BENCH_linalg.json)
 #   OUT_SNAPSHOT       snapshot JSON path (default BENCH_snapshot.json)
 #   OUT_FIT            fit JSON path (default BENCH_fit.json)
 #   OUT_ASYNC          async JSON path (default BENCH_async.json)
+#   OUT_SCENARIO       scenario JSON path (default BENCH_scenario.json)
 #
 # Checks (enforced with -check):
 #   - alloc budgets: the zero-allocation contract of DESIGN.md §9. A
@@ -51,6 +56,12 @@
 #     the virtual clock makes the metric deterministic up to sub-ms
 #     measured overhead, so a violation means the async schedule
 #     regressed, not noise.
+#   - scenario floor: with GOMAXPROCS > 1, the member-parallel fleet must
+#     complete at least as many days per minute as the serial fleet
+#     (members are independent sessions, so parallelism is pure speedup;
+#     10% slack absorbs scheduler noise). At GOMAXPROCS = 1 the floor is
+#     skipped — both runs share one core — but both benchmarks must still
+#     run and report the metric.
 #   - fit floors: the banded parallel fit path must not exceed 1.10× the
 #     forced-serial path at the same n (bit-identity makes the branches
 #     interchangeable, so parallel dispatch may never cost more than it
@@ -66,11 +77,13 @@ BENCHTIME_LINALG="${BENCHTIME_LINALG:-2s}"
 BENCHTIME_SNAPSHOT="${BENCHTIME_SNAPSHOT:-2s}"
 BENCHTIME_FIT="${BENCHTIME_FIT:-2s}"
 BENCHTIME_ASYNC="${BENCHTIME_ASYNC:-2s}"
+BENCHTIME_SCENARIO="${BENCHTIME_SCENARIO:-2s}"
 OUT="${OUT:-BENCH_hotpath.json}"
 OUT_LINALG="${OUT_LINALG:-BENCH_linalg.json}"
 OUT_SNAPSHOT="${OUT_SNAPSHOT:-BENCH_snapshot.json}"
 OUT_FIT="${OUT_FIT:-BENCH_fit.json}"
 OUT_ASYNC="${OUT_ASYNC:-BENCH_async.json}"
+OUT_SCENARIO="${OUT_SCENARIO:-BENCH_scenario.json}"
 CHECK=0
 if [ "${1:-}" = "-check" ]; then
     CHECK=1
@@ -81,7 +94,8 @@ rawlin=$(mktemp)
 rawsnap=$(mktemp)
 rawfit=$(mktemp)
 rawasync=$(mktemp)
-trap 'rm -f "$raw" "$rawlin" "$rawsnap" "$rawfit" "$rawasync"' EXIT
+rawscen=$(mktemp)
+trap 'rm -f "$raw" "$rawlin" "$rawsnap" "$rawfit" "$rawasync" "$rawscen"' EXIT
 
 # Anchored names: the LargeN linalg benchmarks also contain "Predict" /
 # "Fantasize" and must not leak into the hotpath suite.
@@ -108,13 +122,18 @@ go test -run '^$' -bench 'FitLML128$|FitLML1024$|FitLML1024Serial$|FitFactorByte
 go test -run '^$' -bench 'VirtualThroughput$' \
     -benchmem -benchtime "$BENCHTIME_ASYNC" ./internal/core/ >"$rawasync"
 
+# The scenario suite: full in-process rolling-horizon fleet runs, serial
+# vs member-parallel, reporting days-per-minute of wall time.
+go test -run '^$' -bench 'FleetSerial$|FleetParallel$' \
+    -benchmem -benchtime "$BENCHTIME_SCENARIO" ./internal/scenario/ >"$rawscen"
+
 tojson() {
     awk '
     BEGIN { print "["; first = 1 }
     /^Benchmark/ {
         name = $1
         sub(/-[0-9]+$/, "", name)   # strip GOMAXPROCS suffix if present
-        ns = ""; bytes = ""; allocs = ""; frame = ""; factor = ""; vhour = ""
+        ns = ""; bytes = ""; allocs = ""; frame = ""; factor = ""; vhour = ""; dpm = ""
         for (i = 2; i <= NF; i++) {
             if ($(i+1) == "ns/op") ns = $i
             if ($(i+1) == "B/op") bytes = $i
@@ -122,6 +141,7 @@ tojson() {
             if ($(i+1) == "frame-bytes") frame = $i
             if ($(i+1) == "factor-bytes") factor = $i
             if ($(i+1) == "evals-per-vhour") vhour = $i
+            if ($(i+1) == "days-per-minute") dpm = $i
         }
         if (ns == "") next
         if (!first) print ","
@@ -131,6 +151,7 @@ tojson() {
         if (frame != "") printf ", \"frame_bytes\": %s", frame
         if (factor != "") printf ", \"factor_bytes\": %s", factor
         if (vhour != "") printf ", \"evals_per_vhour\": %s", vhour
+        if (dpm != "") printf ", \"days_per_minute\": %s", dpm
         printf "}"
     }
     END { print "\n]" }
@@ -142,8 +163,9 @@ tojson "$rawlin" >"$OUT_LINALG"
 tojson "$rawsnap" >"$OUT_SNAPSHOT"
 tojson "$rawfit" >"$OUT_FIT"
 tojson "$rawasync" >"$OUT_ASYNC"
+tojson "$rawscen" >"$OUT_SCENARIO"
 
-echo "bench.sh: wrote $OUT, $OUT_LINALG, $OUT_SNAPSHOT, $OUT_FIT and $OUT_ASYNC"
+echo "bench.sh: wrote $OUT, $OUT_LINALG, $OUT_SNAPSHOT, $OUT_FIT, $OUT_ASYNC and $OUT_SCENARIO"
 
 if [ "$CHECK" = "1" ]; then
     # name:max_allocs_per_op pairs pinned by the hot-path contract.
@@ -273,8 +295,31 @@ if [ "$CHECK" = "1" ]; then
         fail=1
     fi
 
+    # Scenario fleet floor: member-parallel days-per-minute must hold at
+    # or above serial (10% slack) whenever the run actually had more than
+    # one core. Go appends a -N GOMAXPROCS suffix to benchmark names only
+    # when N > 1, so a bare name means a single-core host and the floor
+    # degrades to presence checks.
+    getdpm() {
+        awk -v n="$1" '$1 ~ "^"n"(-[0-9]+)?$" { for (i=2;i<=NF;i++) if ($(i+1)=="days-per-minute") print $i }' "$rawscen"
+    }
+    serdpm=$(getdpm BenchmarkFleetSerial)
+    pardpm=$(getdpm BenchmarkFleetParallel)
+    if [ -z "$serdpm" ] || [ -z "$pardpm" ]; then
+        echo "bench.sh: FAIL: fleet throughput benchmarks did not run or did not report days-per-minute" >&2
+        fail=1
+    else
+        procs=$(awk '$1 ~ /^BenchmarkFleetParallel-[0-9]+$/ { sub(/^.*-/, "", $1); print $1 }' "$rawscen")
+        if [ -n "$procs" ] && [ "$procs" -gt 1 ]; then
+            if awk -v p="$pardpm" -v s="$serdpm" 'BEGIN { exit !(p * 1.10 < s) }'; then
+                echo "bench.sh: FAIL: parallel fleet ($pardpm days/min) fell below serial ($serdpm days/min) at GOMAXPROCS=$procs" >&2
+                fail=1
+            fi
+        fi
+    fi
+
     if [ "$fail" = "1" ]; then
         exit 1
     fi
-    echo "bench.sh: alloc budgets, linalg floor, snapshot, fit and async-throughput evidence hold"
+    echo "bench.sh: alloc budgets, linalg floor, snapshot, fit, async-throughput and fleet evidence hold"
 fi

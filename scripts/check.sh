@@ -89,10 +89,13 @@ echo "== kill-and-resume determinism under -race"
 # in the same group: the kill-migrate-resume chain with Result AND
 # Metrics bit-identity, the export/import edge contract, the two-process
 # pboserver migration e2e, and the cross-version golden-frame decode
-# matrix that keeps v1/v2 snapshots resumable.
+# matrix that keeps v1/v2 snapshots resumable. The scenario engine pins
+# its two contracts here too: the rolling-horizon golden trace (same seed
+# → bit-identical year schedule and revenue) and the fleet driver's
+# mid-day kill-and-resume against a live in-process pboserver.
 go test -race \
-    -run 'TestAskTellCheckpointResume|TestStrategyKillAndResume|TestSessionKillAndResume|TestSessionResumeSurvivesCorruptNewestSnapshot|TestServerConcurrentSessions|TestServerKillAndResume|TestServerSIGTERMDrainAndResume|TestAsyncKillAndResume|TestPortfolioAsyncKillAndResume|TestSessionAsyncKillAndResume|TestSessionAsyncWorkerPoolDrains|TestServerAsyncKillAndResume|TestServerMigrateBitIdentity|TestServerExportImportLifecycle|TestServerMigrateTwoProcesses|TestGoldenFramesCrossVersionDecode|TestResumeFailsLoudOnFutureVersion' \
-    -count 1 ./internal/core/ ./internal/strategy/ ./internal/session/ ./internal/serve/ ./cmd/pboserver/
+    -run 'TestAskTellCheckpointResume|TestStrategyKillAndResume|TestSessionKillAndResume|TestSessionResumeSurvivesCorruptNewestSnapshot|TestServerConcurrentSessions|TestServerKillAndResume|TestServerSIGTERMDrainAndResume|TestAsyncKillAndResume|TestPortfolioAsyncKillAndResume|TestSessionAsyncKillAndResume|TestSessionAsyncWorkerPoolDrains|TestServerAsyncKillAndResume|TestServerMigrateBitIdentity|TestServerExportImportLifecycle|TestServerMigrateTwoProcesses|TestGoldenFramesCrossVersionDecode|TestResumeFailsLoudOnFutureVersion|TestScenarioGoldenTraceDeterminism|TestFleetKillAndResume' \
+    -count 1 ./internal/core/ ./internal/strategy/ ./internal/session/ ./internal/serve/ ./internal/scenario/ ./cmd/pboserver/
 
 echo "== alloc-regression tests (no race detector)"
 go test -run 'Alloc' ./internal/mat/ ./internal/kernel/ ./internal/gp/
@@ -100,15 +103,16 @@ go test -run 'Alloc' ./internal/mat/ ./internal/kernel/ ./internal/gp/
 echo "== benchmarks compile and run once"
 go test -run '^$' -bench . -benchtime 1x ./...
 
-echo "== bench.sh alloc budgets, linalg floor, snapshot, fit and async evidence"
+echo "== bench.sh alloc budgets, linalg floor, snapshot, fit, async and scenario evidence"
 benchjson=$(mktemp)
 benchlinjson=$(mktemp)
 benchsnapjson=$(mktemp)
 benchfitjson=$(mktemp)
 benchasyncjson=$(mktemp)
-BENCHTIME=100x BENCHTIME_LINALG=1x BENCHTIME_SNAPSHOT=1x BENCHTIME_FIT=1x BENCHTIME_ASYNC=1x \
-    OUT="$benchjson" OUT_LINALG="$benchlinjson" OUT_SNAPSHOT="$benchsnapjson" OUT_FIT="$benchfitjson" OUT_ASYNC="$benchasyncjson" \
+benchscenjson=$(mktemp)
+BENCHTIME=100x BENCHTIME_LINALG=1x BENCHTIME_SNAPSHOT=1x BENCHTIME_FIT=1x BENCHTIME_ASYNC=1x BENCHTIME_SCENARIO=1x \
+    OUT="$benchjson" OUT_LINALG="$benchlinjson" OUT_SNAPSHOT="$benchsnapjson" OUT_FIT="$benchfitjson" OUT_ASYNC="$benchasyncjson" OUT_SCENARIO="$benchscenjson" \
     ./scripts/bench.sh -check
-rm -f "$benchjson" "$benchlinjson" "$benchsnapjson" "$benchfitjson" "$benchasyncjson"
+rm -f "$benchjson" "$benchlinjson" "$benchsnapjson" "$benchfitjson" "$benchasyncjson" "$benchscenjson"
 
 echo "check.sh: all gates passed"
